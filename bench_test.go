@@ -1,0 +1,205 @@
+package delta
+
+// The benchmark harness: one testing.B benchmark per paper table/figure
+// (DESIGN.md §5). Each benchmark regenerates its artifact through the
+// experiment driver and reports domain-specific metrics alongside the usual
+// ns/op, so `go test -bench=. -benchmem` reproduces the whole evaluation.
+//
+// Figure benchmarks run the reduced "quick" sweep per iteration to keep
+// -bench runs tractable; `delta-experiments -run all` produces the full
+// artifacts recorded in EXPERIMENTS.md.
+
+import (
+	"math"
+	"testing"
+
+	"delta/internal/experiments"
+	"delta/internal/gpu"
+	"delta/internal/perf"
+	"delta/internal/tiling"
+	"delta/internal/traffic"
+)
+
+var benchCfg = experiments.Config{Batch: 32, SimBatch: 2, TimingBatch: 8, Quick: true}
+
+func benchDriver(b *testing.B, id string) {
+	d, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := d.Run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for _, t := range tables {
+			rows += t.Len()
+		}
+		b.ReportMetric(float64(rows), "rows")
+	}
+}
+
+// BenchmarkTab1DeviceSpecs regenerates Table I.
+func BenchmarkTab1DeviceSpecs(b *testing.B) { benchDriver(b, "tab1") }
+
+// BenchmarkFig4MissRates regenerates the GoogLeNet miss-rate figure.
+func BenchmarkFig4MissRates(b *testing.B) { benchDriver(b, "fig4") }
+
+// BenchmarkFig6CTATileLookup regenerates the CTA-tile-width staircase.
+func BenchmarkFig6CTATileLookup(b *testing.B) { benchDriver(b, "fig6") }
+
+// BenchmarkFig11TrafficModel regenerates the headline traffic validation.
+func BenchmarkFig11TrafficModel(b *testing.B) { benchDriver(b, "fig11") }
+
+// BenchmarkFig12PriorTraffic regenerates the prior-model traffic comparison.
+func BenchmarkFig12PriorTraffic(b *testing.B) { benchDriver(b, "fig12") }
+
+// BenchmarkFig13PerfTitanXp regenerates the TITAN Xp performance validation.
+func BenchmarkFig13PerfTitanXp(b *testing.B) { benchDriver(b, "fig13") }
+
+// BenchmarkFig14PerfV100 regenerates the V100 performance validation.
+func BenchmarkFig14PerfV100(b *testing.B) { benchDriver(b, "fig14") }
+
+// BenchmarkFig15Distribution regenerates the estimate distributions.
+func BenchmarkFig15Distribution(b *testing.B) { benchDriver(b, "fig15") }
+
+// BenchmarkFig16ScalingStudy regenerates the GPU scaling study.
+func BenchmarkFig16ScalingStudy(b *testing.B) { benchDriver(b, "fig16") }
+
+// BenchmarkFig17Sensitivity regenerates the sensitivity sweeps.
+func BenchmarkFig17Sensitivity(b *testing.B) { benchDriver(b, "fig17") }
+
+// BenchmarkFig18DRAMMicrobench regenerates the DRAM latency/BW curves.
+func BenchmarkFig18DRAMMicrobench(b *testing.B) { benchDriver(b, "fig18") }
+
+// BenchmarkFig19ExecutionCycles regenerates the absolute-cycles figure.
+func BenchmarkFig19ExecutionCycles(b *testing.B) { benchDriver(b, "fig19") }
+
+// BenchmarkFig20AbsoluteTraffic regenerates the absolute-traffic figure.
+func BenchmarkFig20AbsoluteTraffic(b *testing.B) { benchDriver(b, "fig20") }
+
+// BenchmarkExtTraining regenerates the training-step extension tables.
+func BenchmarkExtTraining(b *testing.B) { benchDriver(b, "train") }
+
+// BenchmarkExtExplore regenerates the design-space-search extension table.
+func BenchmarkExtExplore(b *testing.B) { benchDriver(b, "explore") }
+
+// --- Micro-benchmarks of the core model itself ---
+
+// BenchmarkTrafficModelSingleLayer measures one closed-form traffic
+// evaluation (the unit of every design-space sweep).
+func BenchmarkTrafficModelSingleLayer(b *testing.B) {
+	l := Conv{Name: "b", B: 256, Ci: 256, Hi: 13, Wi: 13, Co: 384, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	d := gpu.TitanXp()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Model(l, d, traffic.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfModelSingleLayer measures traffic + performance model.
+func BenchmarkPerfModelSingleLayer(b *testing.B) {
+	l := Conv{Name: "b", B: 256, Ci: 256, Hi: 13, Wi: 13, Co: 384, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	d := gpu.TitanXp()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := perf.ModelLayer(l, d, traffic.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResNet152FullSweep measures a full-network evaluation, the unit
+// of the Fig. 16 design-space exploration.
+func BenchmarkResNet152FullSweep(b *testing.B) {
+	net := ResNet152Full(256)
+	d := gpu.TitanXp()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := perf.ModelAll(net.Layers, d, traffic.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(perf.NetworkTime(rs, net.Counts)*1e3, "predicted-ms")
+	}
+}
+
+// BenchmarkSimulatorSmallLayer measures the trace-driven simulator on the
+// Appendix A base layer at B=1.
+func BenchmarkSimulatorSmallLayer(b *testing.B) {
+	l := Conv{Name: "b", B: 1, Ci: 256, Hi: 13, Wi: 13, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Simulate(l, SimConfig{Device: gpu.TitanXp()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.L1Stats.SectorAccesses)/float64(b.Elapsed().Nanoseconds())*1e3, "Msectors/s")
+	}
+}
+
+// BenchmarkCTATileSelect measures the Fig. 6 lookup (called per layer in
+// every sweep).
+func BenchmarkCTATileSelect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = tiling.Select(i % 512)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4 design choices) ---
+
+// ablationDRAMRatio evaluates the whole paper suite under a traffic-model
+// variant and reports the geomean model/simulator DRAM ratio, so ablations
+// are directly comparable.
+func ablationDRAMRatio(b *testing.B, opt traffic.Options, skipPad bool) {
+	b.ReportAllocs()
+	d := gpu.TitanXp()
+	ls := []Conv{
+		{Name: "a", B: 2, Ci: 192, Hi: 28, Wi: 28, Co: 96, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+		{Name: "b", B: 2, Ci: 64, Hi: 56, Wi: 56, Co: 256, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+		{Name: "c", B: 2, Ci: 512, Hi: 14, Wi: 14, Co: 128, Hf: 1, Wf: 1, Stride: 1},
+	}
+	for i := 0; i < b.N; i++ {
+		prod := 1.0
+		for _, l := range ls {
+			m, err := traffic.Model(l, d, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := Simulate(l, SimConfig{Device: d, SkipPadding: skipPad})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prod *= m.DRAMBytes / s.DRAMBytes
+		}
+		b.ReportMetric(math.Pow(prod, 1.0/float64(len(ls))), "geomean-DRAM-ratio")
+	}
+}
+
+// BenchmarkAblationPaperDRAM measures the paper's Eq. 10 (column re-stream
+// always charged).
+func BenchmarkAblationPaperDRAM(b *testing.B) {
+	ablationDRAMRatio(b, traffic.Options{}, false)
+}
+
+// BenchmarkAblationCapacityAwareDRAM measures the L2-capacity-aware variant
+// that removes the paper's known small-layer over-estimation.
+func BenchmarkAblationCapacityAwareDRAM(b *testing.B) {
+	ablationDRAMRatio(b, traffic.Options{CapacityAwareDRAM: true}, false)
+}
+
+// BenchmarkAblationPaperMLIFilter measures the published Pascal filter-MLI
+// constants instead of the request-granularity closed form.
+func BenchmarkAblationPaperMLIFilter(b *testing.B) {
+	ablationDRAMRatio(b, traffic.Options{PaperMLIFilter: true}, false)
+}
+
+// BenchmarkAblationSkipPadding measures the simulator with zero-padding
+// loads predicated off (the model keeps them, per the paper).
+func BenchmarkAblationSkipPadding(b *testing.B) {
+	ablationDRAMRatio(b, traffic.Options{}, true)
+}

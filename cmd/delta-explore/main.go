@@ -1,0 +1,89 @@
+// Command delta-explore searches a GPU design space with the DeLTA model:
+// it enumerates resource-scaling grids around a baseline device, prices each
+// candidate with a silicon cost model, and reports the Pareto frontier of
+// (hardware cost, predicted speedup) for a CNN workload — the design-space
+// exploration the paper's conclusion frames as a convex optimization.
+//
+// Examples:
+//
+//	delta-explore -net resnet152 -target 4.0
+//	delta-explore -net vgg16 -gpu V100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"delta"
+	"delta/internal/report"
+)
+
+func main() {
+	var (
+		gpuName = flag.String("gpu", "TITAN Xp", "baseline device")
+		netName = flag.String("net", "resnet152", "workload: alexnet, vgg16, googlenet, resnet152")
+		batch   = flag.Int("b", 256, "mini-batch size")
+		target  = flag.Float64("target", 0, "report the cheapest design hitting this speedup (0 = skip)")
+	)
+	flag.Parse()
+
+	base, err := delta.DeviceByName(*gpuName)
+	if err != nil {
+		fatal(err)
+	}
+	var net delta.Network
+	switch *netName {
+	case "alexnet":
+		net = delta.AlexNet(*batch)
+	case "vgg16":
+		net = delta.VGG16(*batch)
+	case "googlenet":
+		net = delta.GoogLeNet(*batch)
+	case "resnet152":
+		net = delta.ResNet152Full(*batch)
+	default:
+		fatal(fmt.Errorf("unknown network %q", *netName))
+	}
+
+	cands, err := delta.Explore(net, base, delta.DefaultExploreAxes(), delta.DefaultCostModel())
+	if err != nil {
+		fatal(err)
+	}
+	front := delta.ParetoFront(cands)
+
+	t := report.NewTable(
+		fmt.Sprintf("Pareto frontier: %s on scaled %s (%d candidates)", net.Name, base.Name, len(cands)),
+		"cost", "speedup", "eff", "SMs", "MAC/SM", "mem BW", "SM-local")
+	for _, c := range front {
+		t.AddRow(c.Cost, c.Speedup, c.Efficiency(),
+			fmt.Sprintf("%.1fx", orOne(c.Scale.NumSM)),
+			fmt.Sprintf("%.1fx", orOne(c.Scale.MACPerSM)),
+			fmt.Sprintf("%.1fx", orOne(c.Scale.DRAMBW)),
+			fmt.Sprintf("%.1fx", orOne(c.Scale.RegPerSM)))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *target > 0 {
+		if best, ok := delta.CheapestAtLeast(cands, *target); ok {
+			fmt.Printf("\nCheapest design reaching %.1fx: %s\n", *target, best)
+			fmt.Printf("  scales: %+v\n", best.Scale)
+		} else {
+			fmt.Printf("\nNo enumerated design reaches %.1fx.\n", *target)
+		}
+	}
+}
+
+func orOne(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "delta-explore:", err)
+	os.Exit(1)
+}

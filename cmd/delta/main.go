@@ -1,0 +1,155 @@
+// Command delta predicts the memory traffic, execution time, and bottleneck
+// of a convolution layer (or a whole CNN) on a modeled GPU using the DeLTA
+// analytical model.
+//
+// Examples:
+//
+//	delta -gpu "TITAN Xp" -b 256 -ci 256 -hw 13 -co 384 -f 3 -s 1 -p 1
+//	delta -gpu V100 -net resnet152
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"delta"
+	"delta/internal/report"
+	"delta/internal/spec"
+)
+
+func main() {
+	var (
+		gpuName  = flag.String("gpu", "TITAN Xp", "device: 'TITAN Xp', 'P100', or 'V100'")
+		netName  = flag.String("net", "", "predict a whole network: alexnet, vgg16, googlenet, resnet50, resnet152")
+		layersIn = flag.String("layers", "", "JSON layer-list file to model instead of -net (see internal/spec)")
+		devIn    = flag.String("device", "", "JSON device file overriding -gpu (see internal/spec)")
+		batch    = flag.Int("b", 256, "mini-batch size")
+		ci       = flag.Int("ci", 256, "input channels")
+		hw       = flag.Int("hw", 13, "input feature height/width")
+		co       = flag.Int("co", 384, "output channels")
+		f        = flag.Int("f", 3, "filter height/width")
+		stride   = flag.Int("s", 1, "stride")
+		pad      = flag.Int("p", 1, "zero padding")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		train    = flag.Bool("train", false, "model the full training step (fprop + dgrad + wgrad)")
+	)
+	flag.Parse()
+
+	dev, err := delta.DeviceByName(*gpuName)
+	if err != nil {
+		fatal(err)
+	}
+	if *devIn != "" {
+		f, err := os.Open(*devIn)
+		if err != nil {
+			fatal(err)
+		}
+		dev, err = spec.ReadDevice(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var net delta.Network
+	if *layersIn != "" {
+		f, err := os.Open(*layersIn)
+		if err != nil {
+			fatal(err)
+		}
+		net, err = spec.ReadNetwork(*layersIn, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else if *netName != "" {
+		switch *netName {
+		case "alexnet":
+			net = delta.AlexNet(*batch)
+		case "vgg16":
+			net = delta.VGG16(*batch)
+		case "googlenet":
+			net = delta.GoogLeNet(*batch)
+		case "resnet50":
+			net = delta.ResNet50(*batch)
+		case "resnet152":
+			net = delta.ResNet152(*batch)
+		default:
+			fatal(fmt.Errorf("unknown network %q", *netName))
+		}
+	} else {
+		l := delta.Conv{Name: "layer", B: *batch, Ci: *ci, Hi: *hw, Wi: *hw,
+			Co: *co, Hf: *f, Wf: *f, Stride: *stride, Pad: *pad}
+		net = delta.Network{Name: "custom", Layers: []delta.Conv{l}, Counts: []int{1}}
+	}
+
+	if *train {
+		renderTraining(net, dev, *batch, *csv)
+		return
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("DeLTA predictions, %s on %s (B=%d)", net.Name, dev.Name, *batch),
+		"layer", "L1", "L2", "DRAM", "ms", "bottleneck", "MAC util")
+	var totalMs float64
+	for _, l := range net.Layers {
+		est, err := delta.EstimateTraffic(l, dev, delta.TrafficOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := delta.EstimatePerformance(est, dev)
+		if err != nil {
+			fatal(err)
+		}
+		totalMs += res.Seconds * 1e3
+		t.AddRow(l.Name,
+			report.Bytes(est.L1Bytes), report.Bytes(est.L2Bytes), report.Bytes(est.DRAMBytes),
+			res.Seconds*1e3, res.Bottleneck.String(), report.Pct(res.Utilization))
+	}
+	t.AddRow("== total", "", "", "", totalMs, "", "")
+
+	if *csv {
+		err = t.RenderCSV(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// renderTraining prints the training-step breakdown: forward, data-gradient
+// and weight-gradient times per layer with their bottlenecks.
+func renderTraining(net delta.Network, dev delta.GPU, batch int, csv bool) {
+	steps, total, err := delta.EstimateNetworkTraining(net, dev, delta.TrafficOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("DeLTA training-step predictions, %s on %s (B=%d)", net.Name, dev.Name, batch),
+		"layer", "fprop ms", "dgrad ms", "wgrad ms", "step ms", "bwd/fwd", "fprop bottleneck")
+	for _, s := range steps {
+		dg := "-"
+		if !s.SkipDgrad {
+			dg = fmt.Sprintf("%.4g", s.Dgrad.Seconds*1e3)
+		}
+		t.AddRow(s.Layer.Name,
+			s.Fprop.Seconds*1e3, dg, s.Wgrad.Seconds*1e3,
+			s.Seconds()*1e3, s.BackwardOverForward(), s.Fprop.Bottleneck.String())
+	}
+	t.AddRow("== total (weighted)", "", "", "", total*1e3, "", "")
+	if csv {
+		err = t.RenderCSV(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "delta:", err)
+	os.Exit(1)
+}

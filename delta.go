@@ -1,0 +1,279 @@
+// Package delta is a Go implementation of DeLTA ("DeLTA: GPU Performance
+// Model for Deep Learning Applications with In-depth Memory System Traffic
+// Analysis", Lym et al., ISPASS 2019): an analytical model of the memory
+// traffic and execution time of convolution layers executed on a GPU with
+// the im2col/implicit-GEMM algorithm.
+//
+// The package is a facade over the implementation packages:
+//
+//   - EstimateTraffic evaluates the Section IV traffic model (L1, L2, DRAM
+//     bytes) for a layer on a device.
+//   - EstimatePerformance evaluates the Section V performance model on top
+//     of a traffic estimate, returning cycles, seconds, and the bottleneck
+//     resource.
+//   - Simulate runs the trace-driven memory-hierarchy simulator that stands
+//     in for the paper's hardware measurements.
+//   - SimulateTiming runs the event-driven execution-time simulator.
+//   - AlexNet/VGG16/GoogLeNet/ResNet152 provide the paper's benchmark
+//     layer configurations; TitanXp/P100/V100 its Table I devices.
+//
+// A minimal use:
+//
+//	layer := delta.Conv{Name: "conv", B: 256, Ci: 256, Hi: 13, Wi: 13,
+//	    Co: 384, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+//	est, err := delta.EstimateTraffic(layer, delta.TitanXp(), delta.TrafficOptions{})
+//	...
+//	res, err := delta.EstimatePerformance(est, delta.TitanXp())
+//	fmt.Println(res.Seconds, res.Bottleneck)
+package delta
+
+import (
+	"delta/internal/backprop"
+	"delta/internal/cnn"
+	"delta/internal/explore"
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/microbench"
+	"delta/internal/perf"
+	"delta/internal/prior"
+	"delta/internal/roofline"
+	"delta/internal/sim/engine"
+	"delta/internal/sim/timing"
+	"delta/internal/tiling"
+	"delta/internal/traffic"
+)
+
+// Core model types.
+type (
+	// Conv describes one convolution (or fully-connected) layer.
+	Conv = layers.Conv
+
+	// GPU is a parameterized device (Table I plus latencies).
+	GPU = gpu.Device
+
+	// GPUScale scales independent GPU resources (Fig. 16a design options).
+	GPUScale = gpu.Scale
+
+	// DesignOption is one column of the Fig. 16a scaling-study table.
+	DesignOption = gpu.DesignOption
+
+	// TrafficOptions tunes traffic-model variants; the zero value
+	// reproduces the paper.
+	TrafficOptions = traffic.Options
+
+	// TrafficEstimate is the per-level traffic prediction for one layer.
+	TrafficEstimate = traffic.Estimate
+
+	// PerfResult is the execution-time prediction with its bottleneck.
+	PerfResult = perf.Result
+
+	// Bottleneck names the resource limiting a layer (MAC_BW, SMEM_BW,
+	// L1_BW, L2_BW, DRAM_BW, DRAM_LAT).
+	Bottleneck = perf.Bottleneck
+
+	// Network is a named list of unique conv layers with instance counts.
+	Network = cnn.Network
+
+	// Tile is a CTA tile configuration of the blocked GEMM.
+	Tile = tiling.Tile
+
+	// SimConfig configures the trace-driven memory-hierarchy simulator.
+	SimConfig = engine.Config
+
+	// SimResult is the simulated ("measured") traffic of one layer.
+	SimResult = engine.Result
+
+	// TimingResult is the event-driven simulated execution time.
+	TimingResult = timing.Result
+
+	// MicrobenchPoint is one sample of the DRAM latency/bandwidth curve.
+	MicrobenchPoint = microbench.Point
+)
+
+// Bottleneck values, re-exported for switch statements.
+const (
+	MACBW   = perf.MACBW
+	SMEMBW  = perf.SMEMBW
+	L1BW    = perf.L1BW
+	L2BW    = perf.L2BW
+	DRAMBW  = perf.DRAMBW
+	DRAMLAT = perf.DRAMLAT
+)
+
+// DefaultBatch is the paper's evaluation mini-batch size.
+const DefaultBatch = cnn.DefaultBatch
+
+// Devices.
+
+// TitanXp returns the Pascal TITAN Xp of Table I.
+func TitanXp() GPU { return gpu.TitanXp() }
+
+// P100 returns the Pascal Tesla P100 of Table I.
+func P100() GPU { return gpu.P100() }
+
+// V100 returns the Volta Tesla V100 of Table I.
+func V100() GPU { return gpu.V100() }
+
+// Devices returns all Table I devices.
+func Devices() []GPU { return gpu.All() }
+
+// DeviceByName looks a device up by its Table I name.
+func DeviceByName(name string) (GPU, error) { return gpu.ByName(name) }
+
+// DesignOptions returns the nine Fig. 16a scaling-study design options.
+func DesignOptions() []DesignOption { return gpu.DesignOptions() }
+
+// Models.
+
+// EstimateTraffic evaluates the DeLTA memory-traffic model (Eq. 2-10).
+func EstimateTraffic(l Conv, d GPU, opt TrafficOptions) (TrafficEstimate, error) {
+	return traffic.Model(l, d, opt)
+}
+
+// EstimatePerformance evaluates the DeLTA performance model (Eq. 11-18) on
+// a traffic estimate produced for the same device.
+func EstimatePerformance(e TrafficEstimate, d GPU) (PerfResult, error) {
+	return perf.Model(e, d)
+}
+
+// Estimate runs both models in sequence: the common entry point.
+func Estimate(l Conv, d GPU, opt TrafficOptions) (PerfResult, error) {
+	return perf.ModelLayer(l, d, opt)
+}
+
+// EstimateAll evaluates a layer list, failing fast on the first error.
+func EstimateAll(ls []Conv, d GPU, opt TrafficOptions) ([]PerfResult, error) {
+	return perf.ModelAll(ls, d, opt)
+}
+
+// NetworkTime sums layer times weighted by instance counts (nil = all 1).
+func NetworkTime(rs []PerfResult, counts []int) float64 {
+	return perf.NetworkTime(rs, counts)
+}
+
+// BottleneckHistogram counts layers per bottleneck, weighted by counts.
+func BottleneckHistogram(rs []PerfResult, counts []int) map[Bottleneck]int {
+	return perf.BottleneckHistogram(rs, counts)
+}
+
+// PriorEstimate applies the fixed-miss-rate prior-model baseline
+// (Section III; mr = 1.0 is the setting prior work advocates).
+func PriorEstimate(l Conv, d GPU, missRate float64) (PerfResult, error) {
+	return prior.Model(l, d, missRate)
+}
+
+// Simulators.
+
+// Simulate runs the trace-driven memory-hierarchy simulator — the stand-in
+// for the paper's nvprof traffic measurements.
+func Simulate(l Conv, cfg SimConfig) (SimResult, error) {
+	return engine.Run(l, cfg)
+}
+
+// SimulateTiming runs the event-driven execution-time simulator on a
+// traffic estimate.
+func SimulateTiming(e TrafficEstimate, d GPU) (TimingResult, error) {
+	return timing.Run(e, d)
+}
+
+// DRAMMicrobench sweeps the DRAM channel model across offered loads,
+// reproducing the Fig. 18 latency/bandwidth curve.
+func DRAMMicrobench(d GPU, fractions []float64, requests int) ([]MicrobenchPoint, error) {
+	return microbench.Sweep(d, fractions, requests)
+}
+
+// Networks.
+
+// AlexNet returns AlexNet's conv layers at mini-batch b.
+func AlexNet(b int) Network { return cnn.AlexNet(b) }
+
+// VGG16 returns VGG16's unique conv layers at mini-batch b.
+func VGG16(b int) Network { return cnn.VGG16(b) }
+
+// GoogLeNet returns GoogLeNet's unique conv layers at mini-batch b.
+func GoogLeNet(b int) Network { return cnn.GoogLeNet(b) }
+
+// ResNet50 returns every conv instance of ResNet50 with counts (not part of
+// the paper's evaluation; provided for library users).
+func ResNet50(b int) Network { return cnn.ResNet50(b) }
+
+// ResNet152 returns ResNet152's unique conv layers at mini-batch b.
+func ResNet152(b int) Network { return cnn.ResNet152(b) }
+
+// ResNet152Full returns every conv instance of ResNet152 with counts, the
+// Fig. 16 scaling-study workload.
+func ResNet152Full(b int) Network { return cnn.ResNet152Full(b) }
+
+// PaperSuite returns the four evaluated CNNs at mini-batch b.
+func PaperSuite(b int) []Network { return cnn.PaperSuite(b) }
+
+// FC constructs a fully-connected layer as a 1x1 convolution.
+func FC(name string, batch, in, out int) Conv { return layers.FC(name, batch, in, out) }
+
+// SelectTile returns the CTA tile cuDNN would pick for an output channel
+// count (the Fig. 6 lookup).
+func SelectTile(co int) Tile { return tiling.Select(co) }
+
+// Training extension (see internal/backprop): the data-gradient and
+// weight-gradient GEMMs of the backward pass, and whole-network training
+// step times.
+type TrainingStep = backprop.Step
+
+// DgradLayer returns the convolution computing the data gradient of l.
+func DgradLayer(l Conv) (Conv, error) { return backprop.DgradLayer(l) }
+
+// WgradLayer returns the GEMM-shaped layer of l's weight gradient.
+func WgradLayer(l Conv) (Conv, error) { return backprop.WgradLayer(l) }
+
+// EstimateTrainingStep models fprop + dgrad + wgrad for one layer.
+func EstimateTrainingStep(l Conv, d GPU, opt TrafficOptions, skipDgrad bool) (TrainingStep, error) {
+	return backprop.ModelStep(l, d, opt, skipDgrad)
+}
+
+// EstimateNetworkTraining models a whole network's training-step time.
+func EstimateNetworkTraining(n Network, d GPU, opt TrafficOptions) ([]TrainingStep, float64, error) {
+	return backprop.NetworkStep(n.Layers, n.Counts, d, opt)
+}
+
+// Design-space exploration (see internal/explore): cost-priced resource
+// grids, Pareto frontiers, and target-speedup search.
+type (
+	// ExploreAxes defines the resource-scaling grid to enumerate.
+	ExploreAxes = explore.Axes
+
+	// ExploreCandidate is one priced, evaluated design point.
+	ExploreCandidate = explore.Candidate
+
+	// CostModel prices scaled devices relative to the baseline.
+	CostModel = explore.CostModel
+)
+
+// DefaultCostModel returns a coarse Pascal-class silicon cost split.
+func DefaultCostModel() CostModel { return explore.DefaultCostModel() }
+
+// DefaultExploreAxes spans the neighborhood of the Fig. 16a options.
+func DefaultExploreAxes() ExploreAxes { return explore.DefaultAxes() }
+
+// Explore prices and evaluates every scale in the grid on the workload.
+func Explore(n Network, base GPU, axes ExploreAxes, cm CostModel) ([]ExploreCandidate, error) {
+	return explore.Evaluate(explore.Workload{Net: n}, base, axes.Enumerate(), cm)
+}
+
+// ParetoFront extracts the undominated (cost, speedup) candidates.
+func ParetoFront(cands []ExploreCandidate) []ExploreCandidate {
+	return explore.ParetoFront(cands)
+}
+
+// CheapestAtLeast returns the lowest-cost candidate hitting the target
+// speedup.
+func CheapestAtLeast(cands []ExploreCandidate, target float64) (ExploreCandidate, bool) {
+	return explore.CheapestAtLeast(cands, target)
+}
+
+// RooflineResult is a classical roofline prediction (baseline; see
+// internal/roofline).
+type RooflineResult = roofline.Result
+
+// Roofline evaluates the classical roofline model for one layer: the larger
+// of the arithmetic time and the compulsory-traffic memory time.
+func Roofline(l Conv, d GPU) (RooflineResult, error) { return roofline.Model(l, d) }

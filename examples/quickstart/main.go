@@ -1,0 +1,63 @@
+// Quickstart: model one convolution layer on a TITAN Xp — traffic at every
+// memory level, predicted execution time, and the bottleneck resource —
+// then cross-check the traffic against the trace-driven simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"delta"
+)
+
+func main() {
+	// A mid-network 3x3 convolution (the paper's Appendix A base shape).
+	layer := delta.Conv{
+		Name: "conv", B: 256,
+		Ci: 256, Hi: 13, Wi: 13,
+		Co: 384, Hf: 3, Wf: 3,
+		Stride: 1, Pad: 1,
+	}
+	dev := delta.TitanXp()
+
+	// 1. Traffic model (Section IV): bytes moved at each hierarchy level.
+	est, err := delta.EstimateTraffic(layer, dev, delta.TrafficOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s\n", layer, dev.Name)
+	fmt.Printf("  GEMM tile       %s, %d CTAs, %d main loops\n",
+		est.Grid.Tile, est.Grid.NumCTA(), est.Grid.MainLoops())
+	fmt.Printf("  L1 traffic      %10.1f MiB  (MLI ifmap %.2f, filter %.2f)\n",
+		est.L1Bytes/(1<<20), est.MLIIFmap, est.MLIFilter)
+	fmt.Printf("  L2 traffic      %10.1f MiB  (L1 miss rate %.1f%%)\n",
+		est.L2Bytes/(1<<20), est.MissRateL1()*100)
+	fmt.Printf("  DRAM traffic    %10.1f MiB  (L2 miss rate %.1f%%)\n",
+		est.DRAMBytes/(1<<20), est.MissRateL2()*100)
+
+	// 2. Performance model (Section V): execution time and bottleneck.
+	res, err := delta.EstimatePerformance(est, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  execution time  %10.3f ms  (%.1f Mcycles)\n",
+		res.Seconds*1e3, res.Cycles/1e6)
+	fmt.Printf("  bottleneck      %s, MAC utilization %.0f%%\n",
+		res.Bottleneck, res.Utilization*100)
+
+	// 3. Cross-check the model against the simulator at a reduced batch
+	// (traffic is batch-linear; the ratio is what matters).
+	small := layer.WithBatch(4)
+	sim, err := delta.Simulate(small, delta.SimConfig{Device: dev})
+	if err != nil {
+		log.Fatal(err)
+	}
+	smallEst, err := delta.EstimateTraffic(small, dev, delta.TrafficOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel / simulator (B=4): L1 %.2f   L2 %.2f   DRAM %.2f\n",
+		smallEst.L1Bytes/sim.L1Bytes,
+		smallEst.L2Bytes/sim.L2Bytes,
+		smallEst.DRAMBytes/sim.DRAMBytes)
+}

@@ -1,0 +1,65 @@
+// Scaling exploration: use DeLTA to evaluate future-GPU design options on
+// full ResNet152 training-forward time (the Fig. 16 study), then search a
+// small design space for the cheapest configuration hitting a target
+// speedup — the "design-space exploration" use case of Section VII-C.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"delta"
+)
+
+func evalNet(net delta.Network, dev delta.GPU, tileDim int) (float64, map[delta.Bottleneck]int) {
+	opt := delta.TrafficOptions{TileOverride: tileDim}
+	rs, err := delta.EstimateAll(net.Layers, dev, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return delta.NetworkTime(rs, net.Counts), delta.BottleneckHistogram(rs, net.Counts)
+}
+
+func main() {
+	net := delta.ResNet152Full(delta.DefaultBatch)
+	base := delta.TitanXp()
+	baseTime, _ := evalNet(net, base, 0)
+	fmt.Printf("Baseline %s: ResNet152 forward %.1f ms (%d conv instances)\n\n",
+		base.Name, baseTime*1e3, net.TotalInstances())
+
+	// Part 1: the paper's nine design options.
+	fmt.Println("Design options (Fig. 16):")
+	for _, opt := range delta.DesignOptions() {
+		dev := opt.Scale.Apply(base)
+		tm, hist := evalNet(net, dev, opt.Scale.CTATileDim)
+		top, topCount := delta.MACBW, 0
+		for b, c := range hist {
+			if c > topCount {
+				top, topCount = b, c
+			}
+		}
+		fmt.Printf("  option %d: %5.2fx speedup, dominant bottleneck %-8s  (%s)\n",
+			opt.ID, baseTime/tm, top, opt.Label)
+	}
+
+	// Part 2: a simple exploration — how much MAC scaling is worth buying
+	// at each DRAM bandwidth level before memory walls it off.
+	fmt.Println("\nSpeedup by (MAC x, DRAM BW x) — diminishing returns past the wall:")
+	fmt.Printf("%8s", "")
+	for _, dramX := range []float64{1, 1.5, 2, 3} {
+		fmt.Printf("  DRAM x%-4.1f", dramX)
+	}
+	fmt.Println()
+	for _, macX := range []float64{1, 2, 4, 8} {
+		fmt.Printf("MAC x%-3.0f", macX)
+		for _, dramX := range []float64{1, 1.5, 2, 3} {
+			s := delta.GPUScale{MACPerSM: macX, DRAMBW: dramX, L2BW: dramX,
+				RegPerSM: 2, SMEMPerSM: 2, SMEMBW: 2, L1BW: 2}
+			tm, _ := evalNet(net, s.Apply(base), 0)
+			fmt.Printf("  %8.2fx", baseTime/tm)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nReading: moving right (more DRAM BW) matters only once MAC")
+	fmt.Println("throughput has outgrown the memory system — DeLTA locates the crossover.")
+}

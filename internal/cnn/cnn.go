@@ -1,0 +1,282 @@
+// Package cnn defines the convolution-layer configurations of the four CNNs
+// the paper evaluates (Section VI): AlexNet, VGG16, GoogLeNet, and
+// ResNet152, trained on ImageNet at mini-batch 256.
+//
+// Layer names follow the x-axis labels of Fig. 11/13/14 exactly, and each
+// network exposes the paper's "unique subset" (layers sharing a
+// configuration appear once). ResNet152Full additionally replicates every
+// conv instance of the real network for the Fig. 16 scaling study.
+package cnn
+
+import "delta/internal/layers"
+
+// DefaultBatch is the mini-batch size used throughout the paper's
+// evaluation (Section VI).
+const DefaultBatch = 256
+
+// Network is a named list of unique conv layers with per-layer replication
+// counts (how many instances of each configuration the real network runs).
+type Network struct {
+	Name   string
+	Layers []layers.Conv
+	Counts []int
+}
+
+// TotalInstances returns the number of conv-layer instances in the network.
+func (n Network) TotalInstances() int {
+	total := 0
+	for _, c := range n.Counts {
+		total += c
+	}
+	return total
+}
+
+// Validate checks every layer and the counts vector.
+func (n Network) Validate() error {
+	for _, l := range n.Layers {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(n.Counts) != len(n.Layers) {
+		panic("cnn: counts/layers length mismatch in " + n.Name)
+	}
+	return nil
+}
+
+func conv(name string, b, ci, hw, co, f, stride, pad int) layers.Conv {
+	return layers.Conv{Name: name, B: b, Ci: ci, Hi: hw, Wi: hw, Co: co,
+		Hf: f, Wf: f, Stride: stride, Pad: pad}
+}
+
+func ones(n int) []int {
+	c := make([]int, n)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}
+
+// AlexNet returns the five conv layers of AlexNet (Krizhevsky et al. 2012,
+// single-tower formulation) at mini-batch b.
+func AlexNet(b int) Network {
+	ls := []layers.Conv{
+		conv("conv1", b, 3, 227, 96, 11, 4, 0),
+		conv("conv2", b, 96, 27, 256, 5, 1, 2),
+		conv("conv3", b, 256, 13, 384, 3, 1, 1),
+		conv("conv4", b, 384, 13, 384, 3, 1, 1),
+		conv("conv5", b, 384, 13, 256, 3, 1, 1),
+	}
+	return Network{Name: "AlexNet", Layers: ls, Counts: ones(len(ls))}
+}
+
+// VGG16 returns the unique conv configurations of VGG16 (configuration D)
+// using the paper's layer numbering: conv7 duplicates conv6, conv9/10
+// duplicate each other and conv12/13 duplicate conv11, so the paper plots
+// conv1-6, conv8, and conv11.
+func VGG16(b int) Network {
+	ls := []layers.Conv{
+		conv("conv1", b, 3, 224, 64, 3, 1, 1),
+		conv("conv2", b, 64, 224, 64, 3, 1, 1),
+		conv("conv3", b, 64, 112, 128, 3, 1, 1),
+		conv("conv4", b, 128, 112, 128, 3, 1, 1),
+		conv("conv5", b, 128, 56, 256, 3, 1, 1),
+		conv("conv6", b, 256, 56, 256, 3, 1, 1),
+		conv("conv8", b, 256, 28, 512, 3, 1, 1),
+		conv("conv11", b, 512, 14, 512, 3, 1, 1),
+	}
+	// Instance counts in the full 13-layer network: conv6 runs twice
+	// (conv6+conv7), conv8's stage has two 512->512 28x28 follow-ups that
+	// share conv11's channel shape but not its feature size; they are
+	// counted under conv8's stage here for the unique-subset view.
+	counts := []int{1, 1, 1, 1, 1, 2, 3, 3}
+	return Network{Name: "VGG16", Layers: ls, Counts: counts}
+}
+
+// googLeNetModule emits the five conv branches of one inception module with
+// the paper's naming scheme (<mod>_1x1, <mod>_3x3red, <mod>_3x3,
+// <mod>_5x5red, <mod>_5x5).
+func googLeNetModule(b int, mod string, in, hw, c1, c3r, c3, c5r, c5 int) []layers.Conv {
+	return []layers.Conv{
+		conv(mod+"_1x1", b, in, hw, c1, 1, 1, 0),
+		conv(mod+"_3x3", b, c3r, hw, c3, 3, 1, 1),
+		conv(mod+"_3x3red", b, in, hw, c3r, 1, 1, 0),
+		conv(mod+"_5x5", b, c5r, hw, c5, 5, 1, 2),
+		conv(mod+"_5x5red", b, in, hw, c5r, 1, 1, 0),
+	}
+}
+
+// GoogLeNet returns the unique conv configurations of GoogLeNet (Szegedy et
+// al. 2015) that the paper evaluates: the stem plus the 3a, 4b, 4e, and 5a
+// inception modules (the other modules repeat these shapes).
+func GoogLeNet(b int) Network {
+	ls := []layers.Conv{
+		conv("conv1", b, 3, 224, 64, 7, 2, 3),
+		conv("conv2_3x3", b, 64, 56, 192, 3, 1, 1),
+		conv("conv2_3x3r", b, 64, 56, 64, 1, 1, 0),
+	}
+	ls = append(ls, googLeNetModule(b, "3a", 192, 28, 64, 96, 128, 16, 32)...)
+	ls = append(ls, googLeNetModule(b, "4b", 512, 14, 160, 112, 224, 24, 64)...)
+	ls = append(ls, googLeNetModule(b, "4e", 528, 14, 256, 160, 320, 32, 128)...)
+	ls = append(ls, googLeNetModule(b, "5a", 832, 7, 256, 160, 320, 32, 128)...)
+	return Network{Name: "GoogLeNet", Layers: ls, Counts: ones(len(ls))}
+}
+
+// ResNet152 returns the unique conv configurations of ResNet152 (He et al.
+// 2016, bottleneck blocks) using the paper's labels: conv<stage>_<block>_<a|b|c>
+// where a/b/c are the 1x1-reduce / 3x3 / 1x1-expand convs of a bottleneck.
+// Stage entry blocks downsample with stride 2 on their first 1x1.
+func ResNet152(b int) Network {
+	ls := []layers.Conv{
+		conv("conv1", b, 3, 224, 64, 7, 2, 3),
+
+		// Stage 2 (56x56). Block 1 sees the 64-channel pooled stem; later
+		// blocks see the 256-channel block output.
+		conv("conv2_1_a", b, 64, 56, 64, 1, 1, 0),
+		conv("conv2_1_b", b, 64, 56, 64, 3, 1, 1),
+		conv("conv2_1_c", b, 64, 56, 256, 1, 1, 0),
+		conv("conv2_2_a", b, 256, 56, 64, 1, 1, 0),
+		conv("conv2_2_b", b, 64, 56, 64, 3, 1, 1),
+		conv("conv2_2_c", b, 64, 56, 256, 1, 1, 0),
+		conv("conv2_3_a", b, 256, 56, 64, 1, 1, 0),
+		conv("conv2_3_b", b, 64, 56, 64, 3, 1, 1),
+		conv("conv2_3_c", b, 64, 56, 256, 1, 1, 0),
+
+		// Stage 3 (28x28 after the stride-2 entry).
+		conv("conv3_1_a", b, 256, 56, 128, 1, 2, 0),
+		conv("conv3_1_b", b, 128, 28, 128, 3, 1, 1),
+		conv("conv3_1_c", b, 128, 28, 512, 1, 1, 0),
+		conv("conv3_2_a", b, 512, 28, 128, 1, 1, 0),
+
+		// Stage 4 (14x14).
+		conv("conv4_1_a", b, 512, 28, 256, 1, 2, 0),
+		conv("conv4_1_b", b, 256, 14, 256, 3, 1, 1),
+		conv("conv4_1_c", b, 256, 14, 1024, 1, 1, 0),
+		conv("conv4_2_a", b, 1024, 14, 256, 1, 1, 0),
+
+		// Stage 5 (7x7).
+		conv("conv5_1_a", b, 1024, 14, 512, 1, 2, 0),
+		conv("conv5_1_b", b, 512, 7, 512, 3, 1, 1),
+		conv("conv5_1_c", b, 512, 7, 2048, 1, 1, 0),
+		conv("conv5_2_a", b, 2048, 7, 512, 1, 1, 0),
+		conv("conv5_2_b", b, 512, 7, 512, 3, 1, 1),
+		conv("conv5_2_c", b, 512, 7, 2048, 1, 1, 0),
+	}
+	return Network{Name: "ResNet152", Layers: ls, Counts: ones(len(ls))}
+}
+
+// ResNet152Full returns every conv instance of ResNet152 with replication
+// counts, including the four projection-shortcut convs. Block structure is
+// [3, 8, 36, 3] bottlenecks per stage; the Fig. 16 scaling study runs this
+// whole network.
+func ResNet152Full(b int) Network {
+	type entry struct {
+		l layers.Conv
+		n int
+	}
+	es := []entry{
+		{conv("conv1", b, 3, 224, 64, 7, 2, 3), 1},
+
+		// Stage 2: 3 blocks at 56x56.
+		{conv("conv2_1_a", b, 64, 56, 64, 1, 1, 0), 1},
+		{conv("conv2_x_b", b, 64, 56, 64, 3, 1, 1), 3},
+		{conv("conv2_x_c", b, 64, 56, 256, 1, 1, 0), 3},
+		{conv("conv2_x_a", b, 256, 56, 64, 1, 1, 0), 2},
+		{conv("conv2_proj", b, 64, 56, 256, 1, 1, 0), 1},
+
+		// Stage 3: 8 blocks at 28x28.
+		{conv("conv3_1_a", b, 256, 56, 128, 1, 2, 0), 1},
+		{conv("conv3_x_b", b, 128, 28, 128, 3, 1, 1), 8},
+		{conv("conv3_x_c", b, 128, 28, 512, 1, 1, 0), 8},
+		{conv("conv3_x_a", b, 512, 28, 128, 1, 1, 0), 7},
+		{conv("conv3_proj", b, 256, 56, 512, 1, 2, 0), 1},
+
+		// Stage 4: 36 blocks at 14x14.
+		{conv("conv4_1_a", b, 512, 28, 256, 1, 2, 0), 1},
+		{conv("conv4_x_b", b, 256, 14, 256, 3, 1, 1), 36},
+		{conv("conv4_x_c", b, 256, 14, 1024, 1, 1, 0), 36},
+		{conv("conv4_x_a", b, 1024, 14, 256, 1, 1, 0), 35},
+		{conv("conv4_proj", b, 512, 28, 1024, 1, 2, 0), 1},
+
+		// Stage 5: 3 blocks at 7x7.
+		{conv("conv5_1_a", b, 1024, 14, 512, 1, 2, 0), 1},
+		{conv("conv5_x_b", b, 512, 7, 512, 3, 1, 1), 3},
+		{conv("conv5_x_c", b, 512, 7, 2048, 1, 1, 0), 3},
+		{conv("conv5_x_a", b, 2048, 7, 512, 1, 1, 0), 2},
+		{conv("conv5_proj", b, 1024, 14, 2048, 1, 2, 0), 1},
+	}
+	n := Network{Name: "ResNet152-full"}
+	for _, e := range es {
+		n.Layers = append(n.Layers, e.l)
+		n.Counts = append(n.Counts, e.n)
+	}
+	return n
+}
+
+// ResNet50 returns every conv instance of ResNet50 with replication counts.
+// It shares ResNet152's bottleneck shapes with block structure [3, 4, 6, 3];
+// not part of the paper's evaluation, provided for library users.
+func ResNet50(b int) Network {
+	type entry struct {
+		l layers.Conv
+		n int
+	}
+	es := []entry{
+		{conv("conv1", b, 3, 224, 64, 7, 2, 3), 1},
+
+		{conv("conv2_1_a", b, 64, 56, 64, 1, 1, 0), 1},
+		{conv("conv2_x_b", b, 64, 56, 64, 3, 1, 1), 3},
+		{conv("conv2_x_c", b, 64, 56, 256, 1, 1, 0), 3},
+		{conv("conv2_x_a", b, 256, 56, 64, 1, 1, 0), 2},
+		{conv("conv2_proj", b, 64, 56, 256, 1, 1, 0), 1},
+
+		{conv("conv3_1_a", b, 256, 56, 128, 1, 2, 0), 1},
+		{conv("conv3_x_b", b, 128, 28, 128, 3, 1, 1), 4},
+		{conv("conv3_x_c", b, 128, 28, 512, 1, 1, 0), 4},
+		{conv("conv3_x_a", b, 512, 28, 128, 1, 1, 0), 3},
+		{conv("conv3_proj", b, 256, 56, 512, 1, 2, 0), 1},
+
+		{conv("conv4_1_a", b, 512, 28, 256, 1, 2, 0), 1},
+		{conv("conv4_x_b", b, 256, 14, 256, 3, 1, 1), 6},
+		{conv("conv4_x_c", b, 256, 14, 1024, 1, 1, 0), 6},
+		{conv("conv4_x_a", b, 1024, 14, 256, 1, 1, 0), 5},
+		{conv("conv4_proj", b, 512, 28, 1024, 1, 2, 0), 1},
+
+		{conv("conv5_1_a", b, 1024, 14, 512, 1, 2, 0), 1},
+		{conv("conv5_x_b", b, 512, 7, 512, 3, 1, 1), 3},
+		{conv("conv5_x_c", b, 512, 7, 2048, 1, 1, 0), 3},
+		{conv("conv5_x_a", b, 2048, 7, 512, 1, 1, 0), 2},
+		{conv("conv5_proj", b, 1024, 14, 2048, 1, 2, 0), 1},
+	}
+	n := Network{Name: "ResNet50"}
+	for _, e := range es {
+		n.Layers = append(n.Layers, e.l)
+		n.Counts = append(n.Counts, e.n)
+	}
+	return n
+}
+
+// PaperSuite returns the four networks' unique subsets at mini-batch b, in
+// the order every evaluation figure plots them.
+func PaperSuite(b int) []Network {
+	return []Network{AlexNet(b), VGG16(b), GoogLeNet(b), ResNet152(b)}
+}
+
+// AllUniqueLayers flattens the paper suite into one labeled layer list with
+// network-qualified names ("VGG16/conv2").
+func AllUniqueLayers(b int) []layers.Conv {
+	var out []layers.Conv
+	for _, n := range PaperSuite(b) {
+		for _, l := range n.Layers {
+			l.Name = n.Name + "/" + l.Name
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SensitivityBase returns the Appendix A base configuration: 256 input
+// channels, a 13x13 IFmap, 128 output channels, a 3x3 filter, stride 1.
+func SensitivityBase(b int) layers.Conv {
+	return conv("sens-base", b, 256, 13, 128, 3, 1, 1)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quickCfg = Config{Batch: 16, SimBatch: 2, TimingBatch: 4, Quick: true}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"tab1", "fig4", "fig6", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "train", "explore"}
+	ds := Drivers()
+	if len(ds) != len(want) {
+		t.Fatalf("registered %d drivers, want %d", len(ds), len(want))
+	}
+	for i, id := range want {
+		if ds[i].ID != id {
+			t.Errorf("driver %d = %s, want %s (paper order)", i, ds[i].ID, id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	d, err := ByID("fig16")
+	if err != nil || d.ID != "fig16" {
+		t.Errorf("ByID(fig16) = %v, %v", d.ID, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+// TestAllDriversRunQuick executes every experiment in quick mode: the full
+// integration path (model + simulator + stats + rendering) must succeed and
+// produce non-empty tables.
+func TestAllDriversRunQuick(t *testing.T) {
+	for _, d := range Drivers() {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			tables, err := d.Run(quickCfg)
+			if err != nil {
+				t.Fatalf("%s: %v", d.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", d.ID)
+			}
+			for _, tb := range tables {
+				if tb.Len() == 0 {
+					t.Errorf("%s: empty table %q", d.ID, tb.Title)
+				}
+				if out := tb.String(); !strings.Contains(out, "\n") {
+					t.Errorf("%s: table failed to render", d.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.Batch != 256 || c.SimBatch == 0 || c.TimingBatch == 0 {
+		t.Errorf("default config = %+v", c)
+	}
+	var zero Config
+	filled := zero.withDefaults()
+	if filled.Batch != 256 {
+		t.Errorf("withDefaults = %+v", filled)
+	}
+}
+
+func TestFig16SpeedupsSane(t *testing.T) {
+	tables, err := ByIDMust("fig16").Run(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tables[0].String()
+	// The conventional 4x-SM option (option 2) must show a speedup > 1.
+	if !strings.Contains(out, "4x SM") {
+		t.Errorf("fig16 table missing option labels:\n%s", out)
+	}
+}
+
+// ByIDMust is a test helper.
+func ByIDMust(id string) Driver {
+	d, err := ByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"delta/internal/gpu"
+	"delta/internal/microbench"
+	"delta/internal/report"
+)
+
+func init() {
+	register("tab1", "GPU device specifications (Table I)", tab1)
+	register("fig6", "Profiled CTA tile width by output channel count", func(Config) ([]*report.Table, error) {
+		return []*report.Table{fig6Table()}, nil
+	})
+	register("fig18", "DRAM latency vs effective bandwidth micro-benchmark", fig18)
+}
+
+func tab1(Config) ([]*report.Table, error) {
+	t := report.NewTable("Table I — GPU device specifications",
+		"spec", "TITAN Xp", "P100", "V100")
+	devs := gpu.All()
+	row := func(name string, f func(gpu.Device) interface{}) {
+		t.AddRow(name, f(devs[0]), f(devs[1]), f(devs[2]))
+	}
+	row("NumSM", func(d gpu.Device) interface{} { return d.NumSM })
+	row("Core clock (GHz)", func(d gpu.Device) interface{} { return d.ClockGHz })
+	row("BW_MAC FP32 (GFLOPS)", func(d gpu.Device) interface{} { return d.MACGFLOPS })
+	row("Size_REG (KB/SM)", func(d gpu.Device) interface{} { return d.RegKBPerSM })
+	row("Size_SMEM (KB/SM)", func(d gpu.Device) interface{} { return d.SMEMKBPerSM })
+	row("BW_L1 (GB/s/SM)", func(d gpu.Device) interface{} { return d.L1BWGBsPerSM })
+	row("BW_L2 (GB/s)", func(d gpu.Device) interface{} { return d.L2BWGBs })
+	row("BW_DRAM eff. (GB/s)", func(d gpu.Device) interface{} { return d.DRAMBWGBs })
+	row("Size_L2 (MB)", func(d gpu.Device) interface{} { return d.L2SizeMB })
+	row("L1 request (B)", func(d gpu.Device) interface{} { return d.L1ReqBytes })
+	row("DRAM latency (clk)", func(d gpu.Device) interface{} { return d.LatDRAMClk })
+	return []*report.Table{t}, nil
+}
+
+func fig18(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	requests := 20000
+	if cfg.Quick {
+		requests = 2000
+	}
+	var tables []*report.Table
+	for _, d := range gpu.All() {
+		pts, err := microbench.Sweep(d, microbench.DefaultFractions(), requests)
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Fig. 18 — DRAM latency vs bandwidth, %s", d.Name),
+			"offered GB/s", "achieved GB/s", "latency clk")
+		for _, p := range pts {
+			t.AddRow(p.OfferedGBs, p.AchievedGBs, p.LatencyClk)
+		}
+		knee, err := microbench.KneePoint(pts, d)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("== knee (eff. BW)", knee, "")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"delta/internal/cnn"
+	"delta/internal/gpu"
+	"delta/internal/perf"
+	"delta/internal/prior"
+	"delta/internal/report"
+	"delta/internal/sim/timing"
+	"delta/internal/stats"
+	"delta/internal/traffic"
+)
+
+func init() {
+	register("fig13", "Conv-layer execution time and bottlenecks, TITAN Xp", func(c Config) ([]*report.Table, error) {
+		return perfFigure(c, gpu.TitanXp(), "Fig. 13")
+	})
+	register("fig14", "Conv-layer execution time and bottlenecks, V100", func(c Config) ([]*report.Table, error) {
+		return perfFigure(c, gpu.V100(), "Fig. 14")
+	})
+	register("fig15", "Execution-time estimate distributions: devices and prior models", fig15)
+	register("fig19", "Absolute execution cycles per CNN, TITAN Xp", fig19)
+}
+
+// perfPair holds one layer's model prediction and timing-simulated
+// measurement at the same mini-batch.
+type perfPair struct {
+	name  string
+	model perf.Result
+	sim   timing.Result
+}
+
+func runPerfPairs(cfg Config, d gpu.Device) ([]perfPair, error) {
+	ls := cnn.AllUniqueLayers(cfg.TimingBatch)
+	if cfg.Quick {
+		ls = ls[:6]
+	}
+	out := make([]perfPair, 0, len(ls))
+	for _, l := range ls {
+		e, err := traffic.Model(l, d, traffic.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m, err := perf.Model(e, d)
+		if err != nil {
+			return nil, err
+		}
+		s, err := timing.Run(e, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, perfPair{name: l.Name, model: m, sim: s})
+	}
+	return out, nil
+}
+
+// perfFigure reproduces Fig. 13/14: per-layer model/simulated time ratios
+// and the model's named bottleneck.
+func perfFigure(cfg Config, d gpu.Device, figName string) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	pairs, err := runPerfPairs(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s — execution time model/simulator and bottleneck, %s (B=%d)", figName, d.Name, cfg.TimingBatch),
+		"layer", "model Mcycles", "sim Mcycles", "ratio", "bottleneck")
+	var ratios []float64
+	bnCount := map[perf.Bottleneck]int{}
+	for _, p := range pairs {
+		r := p.model.Cycles / p.sim.Cycles
+		t.AddRow(p.name, p.model.Cycles/1e6, p.sim.Cycles/1e6, r, p.model.Bottleneck.String())
+		ratios = append(ratios, r)
+		bnCount[p.model.Bottleneck]++
+	}
+	g, _ := stats.GMAE(ratios)
+	sd, _ := stats.StdDev(ratios)
+	t.AddRow("== GMAE / stdev", report.Pct(g), report.Pct(sd), "", "")
+
+	bt := report.NewTable(figName+" — bottleneck distribution", "bottleneck", "layers", "share")
+	total := len(pairs)
+	for _, b := range perf.Bottlenecks() {
+		if c := bnCount[b]; c > 0 {
+			bt.AddRow(b.String(), c, report.Pct(float64(c)/float64(total)))
+		}
+	}
+	return []*report.Table{t, bt}, nil
+}
+
+// fig15 summarizes estimate distributions: (a) DeLTA across the three GPUs,
+// (b) DeLTA vs the fixed-miss-rate prior models on TITAN Xp.
+func fig15(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+
+	ta := report.NewTable("Fig. 15a — model/simulator execution-time distribution per device",
+		"device", "min", "median", "max", "geomean", "stdev")
+	for _, d := range gpu.All() {
+		pairs, err := runPerfPairs(cfg, d)
+		if err != nil {
+			return nil, err
+		}
+		var ratios []float64
+		for _, p := range pairs {
+			ratios = append(ratios, p.model.Cycles/p.sim.Cycles)
+		}
+		s, err := stats.Summarize(ratios)
+		if err != nil {
+			return nil, err
+		}
+		ta.AddRow(d.Name, s.Min, s.Median, s.Max, s.GeoMean, s.StdDev)
+	}
+
+	d := gpu.TitanXp()
+	pairs, err := runPerfPairs(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	tb := report.NewTable("Fig. 15b — DeLTA vs fixed-miss-rate models, normalized to simulator, TITAN Xp",
+		"model", "min", "median", "max", "mean")
+	var deltaRatios []float64
+	for _, p := range pairs {
+		deltaRatios = append(deltaRatios, p.model.Cycles/p.sim.Cycles)
+	}
+	s, _ := stats.Summarize(deltaRatios)
+	tb.AddRow("DeLTA", s.Min, s.Median, s.Max, s.Mean)
+
+	ls := cnn.AllUniqueLayers(cfg.TimingBatch)
+	if cfg.Quick {
+		ls = ls[:6]
+	}
+	for _, mr := range prior.MissRates() {
+		var ratios []float64
+		for i, l := range ls {
+			pm, err := prior.Model(l, d, mr)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, pm.Cycles/pairs[i].sim.Cycles)
+		}
+		s, _ := stats.Summarize(ratios)
+		tb.AddRow(fmt.Sprintf("MR %.1f", mr), s.Min, s.Median, s.Max, s.Mean)
+	}
+	return []*report.Table{ta, tb}, nil
+}
+
+// fig19 reports absolute execution cycles per network, model vs simulator.
+func fig19(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	d := gpu.TitanXp()
+	var tables []*report.Table
+	nets := cnn.PaperSuite(cfg.TimingBatch)
+	if cfg.Quick {
+		nets = nets[:1]
+	}
+	for _, net := range nets {
+		t := report.NewTable(
+			fmt.Sprintf("Fig. 19 — execution cycles, %s, TITAN Xp (B=%d)", net.Name, cfg.TimingBatch),
+			"layer", "model Mcycles", "sim Mcycles", "ratio")
+		ls := net.Layers
+		if cfg.Quick && len(ls) > 4 {
+			ls = ls[:4]
+		}
+		for _, l := range ls {
+			e, err := traffic.Model(l, d, traffic.Options{})
+			if err != nil {
+				return nil, err
+			}
+			m, err := perf.Model(e, d)
+			if err != nil {
+				return nil, err
+			}
+			s, err := timing.Run(e, d)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(l.Name, m.Cycles/1e6, s.Cycles/1e6, m.Cycles/s.Cycles)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"delta/internal/cnn"
+	"delta/internal/gpu"
+	"delta/internal/perf"
+	"delta/internal/report"
+	"delta/internal/traffic"
+)
+
+func init() {
+	register("fig16", "GPU resource scaling study on full ResNet152", fig16)
+}
+
+// resnetTime evaluates the full ResNet152 forward time and bottleneck
+// distribution on one device, with an optional CTA-tile override.
+func resnetTime(net cnn.Network, d gpu.Device, tileDim int) (float64, map[perf.Bottleneck]int, error) {
+	opt := traffic.Options{TileOverride: tileDim}
+	rs, err := perf.ModelAll(net.Layers, d, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	return perf.NetworkTime(rs, net.Counts), perf.BottleneckHistogram(rs, net.Counts), nil
+}
+
+// fig16 reproduces the scaling study: the nine design options of Fig. 16a
+// applied to the TITAN Xp baseline, with speedups (Fig. 16b) and
+// bottleneck distributions (Fig. 16c) over all conv layers of ResNet152.
+func fig16(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	batch := cfg.Batch
+	if cfg.Quick {
+		batch = 32
+	}
+	net := cnn.ResNet152Full(batch)
+	base := gpu.TitanXp()
+
+	baseTime, baseHist, err := resnetTime(net, base, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("Fig. 16b — ResNet152 forward speedup over TITAN Xp (B=%d, DeLTA predictions)", batch),
+		"option", "configuration", "speedup")
+	tc := report.NewTable("Fig. 16c — bottleneck distribution per design option (layer instances)",
+		"option", "MAC_BW", "SMEM_BW", "L1_BW", "L2_BW", "DRAM_BW", "DRAM_LAT")
+
+	addHist := func(label string, h map[perf.Bottleneck]int) {
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		row := []interface{}{label}
+		for _, b := range perf.Bottlenecks() {
+			row = append(row, report.Pct(float64(h[b])/float64(total)))
+		}
+		tc.AddRow(row...)
+	}
+
+	tb.AddRow("base", "TITAN Xp", 1.0)
+	addHist("base", baseHist)
+
+	for _, opt := range gpu.DesignOptions() {
+		d := opt.Scale.Apply(base)
+		t, h, err := resnetTime(net, d, opt.Scale.CTATileDim)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(opt.ID, opt.Label, baseTime/t)
+		addHist(fmt.Sprintf("%d", opt.ID), h)
+	}
+	return []*report.Table{tb, tc}, nil
+}

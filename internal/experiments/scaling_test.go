@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"delta/internal/cnn"
+	"delta/internal/gpu"
+	"delta/internal/perf"
+)
+
+// TestFig16ShapeMatchesPaper locks in the scaling study's qualitative
+// results against the paper's Fig. 16b/16c. Absolute speedups need not
+// match the paper's testbed, but the orderings and bottleneck shifts the
+// paper highlights must hold:
+//
+//   - conventional scaling (options 1, 2) is near-linear in SM count;
+//   - compute-only scaling (options 3, 4) saturates around 2x;
+//   - balanced scaling (option 5) rivals option 2 with far fewer SMs;
+//   - option 6 runs into the L2/memory system;
+//   - the enlarged-tile options (7-9) top the chart.
+func TestFig16ShapeMatchesPaper(t *testing.T) {
+	net := cnn.ResNet152Full(256)
+	base := gpu.TitanXp()
+	baseTime, baseHist, err := resnetTime(net, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: almost all ResNet layers are MAC-bound on the baseline.
+	total := 0
+	for _, c := range baseHist {
+		total += c
+	}
+	if frac := float64(baseHist[perf.MACBW]) / float64(total); frac < 0.9 {
+		t.Errorf("baseline MAC-bound fraction = %v, paper reports ~all", frac)
+	}
+
+	speedup := make(map[int]float64)
+	hists := make(map[int]map[perf.Bottleneck]int)
+	for _, opt := range gpu.DesignOptions() {
+		tm, h, err := resnetTime(net, opt.Scale.Apply(base), opt.Scale.CTATileDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup[opt.ID] = baseTime / tm
+		hists[opt.ID] = h
+	}
+
+	paper := map[int]float64{1: 1.9, 2: 3.4, 3: 1.8, 4: 2.0, 5: 3.3, 6: 4.3, 7: 5.6, 8: 5.4, 9: 6.4}
+	for id, want := range paper {
+		got := speedup[id]
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("option %d speedup = %.2f, paper %.1f (allowing 30%%)", id, got, want)
+		}
+	}
+
+	// Orderings the paper's narrative depends on.
+	if !(speedup[2] > speedup[1]) {
+		t.Error("4x SM should beat 2x SM")
+	}
+	if speedup[4] > 2.6 {
+		t.Errorf("compute-only scaling should saturate ~2x, got %.2f", speedup[4])
+	}
+	if speedup[5] < speedup[2]*0.8 {
+		t.Errorf("balanced option 5 (%.2f) should rival option 2 (%.2f)", speedup[5], speedup[2])
+	}
+	for _, id := range []int{7, 8, 9} {
+		if speedup[id] < speedup[6] {
+			t.Errorf("enlarged-tile option %d (%.2f) should top option 6 (%.2f)",
+				id, speedup[id], speedup[6])
+		}
+	}
+
+	// Option 6: the paper says L2 BW becomes the limiter.
+	h6 := hists[6]
+	if h6[perf.L2BW] == 0 {
+		t.Errorf("option 6 shows no L2_BW-bound layers: %v", h6)
+	}
+	// Options 3/4 (compute-only): memory must limit most layers.
+	h4 := hists[4]
+	if h4[perf.MACBW] > total/10 {
+		t.Errorf("option 4 still largely MAC-bound: %v", h4)
+	}
+}

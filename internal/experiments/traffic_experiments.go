@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+
+	"delta/internal/cnn"
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/prior"
+	"delta/internal/report"
+	"delta/internal/sim/engine"
+	"delta/internal/stats"
+	"delta/internal/tiling"
+	"delta/internal/traffic"
+)
+
+func init() {
+	register("fig4", "L1/L2 miss rates of GoogLeNet conv layers (simulated)", fig4)
+	register("fig11", "L1/L2/DRAM traffic: DeLTA normalized to simulator, 3 GPUs", fig11)
+	register("fig12", "L2/DRAM traffic: DeLTA vs fixed-miss-rate prior models", fig12)
+	register("fig17", "Traffic sensitivity sweeps (Co, Ci, feature size, batch)", fig17)
+	register("fig20", "Absolute L1/L2/DRAM traffic, model vs simulator, TITAN Xp", fig20)
+}
+
+// trafficPair holds one layer's model estimate and simulated measurement at
+// the same mini-batch.
+type trafficPair struct {
+	name  string
+	model traffic.Estimate
+	sim   engine.Result
+}
+
+func runTrafficPairs(ls []layers.Conv, d gpu.Device, batch int) ([]trafficPair, error) {
+	out := make([]trafficPair, 0, len(ls))
+	for _, l := range ls {
+		l = l.WithBatch(batch)
+		m, err := traffic.Model(l, d, traffic.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s, err := engine.Run(l, engine.Config{Device: d})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, trafficPair{name: l.Name, model: m, sim: s})
+	}
+	return out, nil
+}
+
+// fig4 simulates the GoogLeNet conv layers and reports their L1 and L2 miss
+// rates, reproducing the 13-50% / 8-90% spread that motivates the paper.
+func fig4(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	net := cnn.GoogLeNet(cfg.SimBatch)
+	ls := net.Layers
+	if cfg.Quick {
+		ls = ls[:5]
+	}
+	t := report.NewTable("Fig. 4 — GoogLeNet conv-layer cache miss rates (simulated, TITAN Xp geometry)",
+		"layer", "L1 miss rate", "L2 miss rate")
+	var l1s, l2s []float64
+	for _, l := range ls {
+		r, err := engine.Run(l, engine.Config{Device: gpu.TitanXp()})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(l.Name, report.Pct(r.MissRateL1()), report.Pct(r.MissRateL2()))
+		l1s = append(l1s, r.MissRateL1())
+		l2s = append(l2s, r.MissRateL2())
+	}
+	s1, _ := stats.Summarize(l1s)
+	s2, _ := stats.Summarize(l2s)
+	t.AddRow("min..max", report.Pct(s1.Min)+".."+report.Pct(s1.Max), report.Pct(s2.Min)+".."+report.Pct(s2.Max))
+	return []*report.Table{t}, nil
+}
+
+// fig11 is the headline traffic validation: model estimates normalized to
+// simulated measurements at every hierarchy level, for all unique layers of
+// the four CNNs, on all three GPUs, with GMAE and stdev summaries.
+func fig11(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	ls := cnn.AllUniqueLayers(cfg.SimBatch)
+	if cfg.Quick {
+		ls = ls[:6]
+	}
+	var tables []*report.Table
+	for _, d := range gpu.All() {
+		pairs, err := runTrafficPairs(ls, d, cfg.SimBatch)
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Fig. 11 — traffic model / simulator, %s (B=%d)", d.Name, cfg.SimBatch),
+			"layer", "L1 ratio", "L2 ratio", "DRAM ratio")
+		var r1, r2, rd []float64
+		for _, p := range pairs {
+			a := p.model.L1Bytes / p.sim.L1Bytes
+			b := p.model.L2Bytes / p.sim.L2Bytes
+			c := p.model.DRAMBytes / p.sim.DRAMBytes
+			t.AddRow(p.name, a, b, c)
+			r1, r2, rd = append(r1, a), append(r2, b), append(rd, c)
+		}
+		addRatioSummary(t, "L1", r1)
+		addRatioSummary(t, "L2", r2)
+		addRatioSummary(t, "DRAM", rd)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func addRatioSummary(t *report.Table, level string, ratios []float64) {
+	kept, dropped := stats.FilterOutliers(ratios, 2.0)
+	if len(kept) == 0 {
+		kept = ratios
+	}
+	g, _ := stats.GMAE(kept)
+	sd, _ := stats.StdDev(kept)
+	t.AddRow("== "+level+" GMAE / stdev",
+		report.Pct(g), report.Pct(sd), fmt.Sprintf("(outliers>2x: %d)", dropped))
+}
+
+// fig12 compares DeLTA's L2/DRAM traffic against the prior models'
+// miss-rate-1.0 assumption, both normalized to the simulator.
+func fig12(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	ls := cnn.AllUniqueLayers(cfg.SimBatch)
+	if cfg.Quick {
+		ls = ls[:6]
+	}
+	d := gpu.TitanXp()
+	pairs, err := runTrafficPairs(ls, d, cfg.SimBatch)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Fig. 12 — L2/DRAM traffic normalized to simulator: DeLTA vs prior (miss rate 1.0), TITAN Xp",
+		"layer", "filter", "DeLTA L2", "prior L2", "DeLTA DRAM", "prior DRAM")
+	var maxPriorDRAM float64
+	var deltaDRAM, priorDRAM []float64
+	for i, p := range pairs {
+		pr := prior.FixMissRate(p.model, 1.0)
+		dl2 := p.model.L2Bytes / p.sim.L2Bytes
+		pl2 := pr.L2Bytes / p.sim.L2Bytes
+		ddr := p.model.DRAMBytes / p.sim.DRAMBytes
+		pdr := pr.DRAMBytes / p.sim.DRAMBytes
+		t.AddRow(p.name, fmt.Sprintf("%dx%d", ls[i].Hf, ls[i].Wf), dl2, pl2, ddr, pdr)
+		if pdr > maxPriorDRAM {
+			maxPriorDRAM = pdr
+		}
+		deltaDRAM = append(deltaDRAM, ddr)
+		priorDRAM = append(priorDRAM, pdr)
+	}
+	gd, _ := stats.GeoMean(deltaDRAM)
+	gp, _ := stats.GeoMean(priorDRAM)
+	t.AddRow("== geomean DRAM ratio", "", "", "", gd, gp)
+	t.AddRow("== max prior DRAM ratio", "", "", "", "", maxPriorDRAM)
+	return []*report.Table{t}, nil
+}
+
+// fig17 sweeps the Appendix A artificial layer along each axis and reports
+// model/simulator traffic ratios per level.
+func fig17(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	base := cnn.SensitivityBase(cfg.SimBatch)
+	d := gpu.TitanXp()
+
+	sweep := func(title string, ls []layers.Conv) (*report.Table, error) {
+		t := report.NewTable(title, "point", "L1 ratio", "L2 ratio", "DRAM ratio")
+		var r1, r2, rd []float64
+		for _, l := range ls {
+			m, err := traffic.Model(l, d, traffic.Options{})
+			if err != nil {
+				return nil, err
+			}
+			s, err := engine.Run(l, engine.Config{Device: d})
+			if err != nil {
+				return nil, err
+			}
+			a, b, c := m.L1Bytes/s.L1Bytes, m.L2Bytes/s.L2Bytes, m.DRAMBytes/s.DRAMBytes
+			t.AddRow(l.Name, a, b, c)
+			r1, r2, rd = append(r1, a), append(r2, b), append(rd, c)
+		}
+		addRatioSummary(t, "L1", r1)
+		addRatioSummary(t, "L2", r2)
+		addRatioSummary(t, "DRAM", rd)
+		return t, nil
+	}
+
+	coPoints := []int{32, 64, 96, 128, 192, 256, 384, 512}
+	ciPoints := []int{16, 64, 128, 256, 384, 512}
+	hwPoints := []int{8, 13, 20, 28, 40, 56, 92}
+	bPoints := []int{2, 4, 8, 16}
+	if cfg.Quick {
+		coPoints, ciPoints, hwPoints, bPoints = coPoints[:3], ciPoints[:3], hwPoints[:3], bPoints[:2]
+	}
+
+	var tables []*report.Table
+	var ls []layers.Conv
+	for _, co := range coPoints {
+		l := base
+		l.Co = co
+		l.Name = fmt.Sprintf("Co=%d", co)
+		ls = append(ls, l)
+	}
+	t, err := sweep("Fig. 17a — sensitivity to output channel count", ls)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+
+	ls = nil
+	for _, ci := range ciPoints {
+		l := base
+		l.Ci = ci
+		l.Name = fmt.Sprintf("Ci=%d", ci)
+		ls = append(ls, l)
+	}
+	if t, err = sweep("Fig. 17b — sensitivity to input channel count", ls); err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+
+	ls = nil
+	for _, hw := range hwPoints {
+		l := base
+		l.Hi, l.Wi = hw, hw
+		l.Name = fmt.Sprintf("HW=%d", hw)
+		ls = append(ls, l)
+	}
+	if t, err = sweep("Fig. 17c — sensitivity to IFmap size", ls); err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+
+	ls = nil
+	for _, b := range bPoints {
+		l := base.WithBatch(b)
+		l.Name = fmt.Sprintf("B=%d", b)
+		ls = append(ls, l)
+	}
+	if t, err = sweep("Fig. 17d — sensitivity to mini-batch size", ls); err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+	return tables, nil
+}
+
+// fig20 reports absolute traffic volumes side by side, model vs simulator.
+func fig20(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.withDefaults()
+	ls := cnn.AllUniqueLayers(cfg.SimBatch)
+	if cfg.Quick {
+		ls = ls[:6]
+	}
+	pairs, err := runTrafficPairs(ls, gpu.TitanXp(), cfg.SimBatch)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 20 — absolute traffic, model vs simulator, TITAN Xp (B=%d)", cfg.SimBatch),
+		"layer", "L1 model", "L1 sim", "L2 model", "L2 sim", "DRAM model", "DRAM sim")
+	for _, p := range pairs {
+		t.AddRow(p.name,
+			report.Bytes(p.model.L1Bytes), report.Bytes(p.sim.L1Bytes),
+			report.Bytes(p.model.L2Bytes), report.Bytes(p.sim.L2Bytes),
+			report.Bytes(p.model.DRAMBytes), report.Bytes(p.sim.DRAMBytes))
+	}
+	return []*report.Table{t}, nil
+}
+
+// fig6Table is shared with the misc drivers; declared here to keep tiling
+// imports together.
+func fig6Table() *report.Table {
+	t := report.NewTable("Fig. 6 — profiled CTA tile width by output channel count",
+		"Co range", "CTA tile", "blkK")
+	widths := tiling.ProfileTileWidth(384)
+	start := 1
+	for co := 2; co <= len(widths)+1; co++ {
+		if co == len(widths)+1 || widths[co-1] != widths[start-1] {
+			tile := tiling.Select(start)
+			t.AddRow(fmt.Sprintf("%d..%d", start, co-1),
+				fmt.Sprintf("%dx%d", tile.BlkM, tile.BlkN), tile.BlkK)
+			start = co
+		}
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+package explore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delta/internal/cnn"
+	"delta/internal/gpu"
+	"delta/internal/traffic"
+)
+
+func smallWorkload() Workload {
+	return Workload{Net: cnn.AlexNet(32), Opt: traffic.Options{}}
+}
+
+func TestCostModelBaseline(t *testing.T) {
+	cm := DefaultCostModel()
+	// The identity scale costs exactly the sum of the weights (~1).
+	c := cm.Cost(gpu.Scale{})
+	sum := cm.SMWeight + cm.RegWeight + cm.SMEMWeight + cm.L1Weight + cm.L2Weight + cm.DRAMWeight
+	if c != sum {
+		t.Errorf("baseline cost = %v, want %v", c, sum)
+	}
+	// Doubling SMs doubles every per-SM share but not L2/DRAM.
+	d := cm.Cost(gpu.Scale{NumSM: 2})
+	wantD := 2*(cm.SMWeight+cm.RegWeight+cm.SMEMWeight+cm.L1Weight) + cm.L2Weight + cm.DRAMWeight
+	if d != wantD {
+		t.Errorf("2x SM cost = %v, want %v", d, wantD)
+	}
+	if d <= c {
+		t.Error("bigger device not costlier")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	a := Axes{NumSM: []float64{1, 2}, MACPerSM: []float64{1, 4}}
+	scales := a.Enumerate()
+	if len(scales) != 4 {
+		t.Fatalf("enumerated %d, want 4", len(scales))
+	}
+	if len((Axes{}).Enumerate()) != 1 {
+		t.Error("empty axes should yield the identity point")
+	}
+}
+
+func TestEvaluateAndPareto(t *testing.T) {
+	w := smallWorkload()
+	scales := Axes{MACPerSM: []float64{1, 2, 4}, MemBW: []float64{1, 2}}.Enumerate()
+	cands, err := Evaluate(w, gpu.TitanXp(), scales, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 6 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// The identity point has speedup ~1 at cost ~1.
+	var identity *Candidate
+	for i := range cands {
+		if cands[i].Scale == (gpu.Scale{NumSM: 1, MACPerSM: 1, L2BW: 1, DRAMBW: 1,
+			RegPerSM: 1, SMEMPerSM: 1, SMEMBW: 1, L1BW: 1}) {
+			identity = &cands[i]
+		}
+	}
+	if identity == nil {
+		t.Fatal("identity point missing")
+	}
+	if identity.Speedup < 0.999 || identity.Speedup > 1.001 {
+		t.Errorf("identity speedup = %v", identity.Speedup)
+	}
+
+	front := ParetoFront(cands)
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// Front is sorted by cost and strictly improving in speedup.
+	for i := 1; i < len(front); i++ {
+		if front[i].Cost < front[i-1].Cost {
+			t.Error("front not cost-sorted")
+		}
+		if front[i].Speedup <= front[i-1].Speedup {
+			t.Error("front not speedup-increasing")
+		}
+	}
+	// Every candidate is dominated by or on the front.
+	for _, c := range cands {
+		dominated := false
+		for _, f := range front {
+			if f.Cost <= c.Cost && f.Speedup >= c.Speedup {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("candidate %v escapes the front", c)
+		}
+	}
+}
+
+func TestCheapestAtLeastAndMostEfficient(t *testing.T) {
+	cands := []Candidate{
+		{Cost: 1.0, Speedup: 1.0},
+		{Cost: 1.5, Speedup: 2.0},
+		{Cost: 2.0, Speedup: 2.1},
+		{Cost: 3.0, Speedup: 4.0},
+	}
+	c, ok := CheapestAtLeast(cands, 2.0)
+	if !ok || c.Cost != 1.5 {
+		t.Errorf("CheapestAtLeast = %v, %v", c, ok)
+	}
+	if _, ok := CheapestAtLeast(cands, 10); ok {
+		t.Error("unreachable target satisfied")
+	}
+	e, ok := MostEfficient(cands)
+	if !ok || e.Cost != 1.5 {
+		t.Errorf("MostEfficient = %v", e)
+	}
+	if _, ok := MostEfficient(nil); ok {
+		t.Error("empty MostEfficient succeeded")
+	}
+}
+
+// TestQuickMoreResourcesNeverSlower: along any single axis, adding resources
+// never reduces the predicted speedup (the monotonicity the "convex
+// optimization" claim rests on).
+func TestQuickMoreResourcesNeverSlower(t *testing.T) {
+	w := smallWorkload()
+	base := gpu.TitanXp()
+	cm := DefaultCostModel()
+	f := func(axis, mag uint8) bool {
+		lo := 1 + float64(mag%3) // 1..3
+		hi := lo + 1
+		mk := func(x float64) gpu.Scale {
+			switch axis % 4 {
+			case 0:
+				return gpu.Scale{MACPerSM: x}
+			case 1:
+				return gpu.Scale{L2BW: x, DRAMBW: x}
+			case 2:
+				return gpu.Scale{NumSM: x, L2BW: x, DRAMBW: x}
+			default:
+				return gpu.Scale{RegPerSM: x, SMEMPerSM: x, SMEMBW: x, L1BW: x}
+			}
+		}
+		cands, err := Evaluate(w, base, []gpu.Scale{mk(lo), mk(hi)}, cm)
+		if err != nil {
+			return false
+		}
+		return cands[1].Speedup >= cands[0].Speedup*0.999 &&
+			cands[1].Cost >= cands[0].Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

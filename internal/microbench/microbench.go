@@ -1,0 +1,92 @@
+// Package microbench reproduces the paper's DRAM micro-benchmark
+// (Appendix B, Fig. 18): a stream of DRAM traffic with increasing volume
+// per time unit, recording the turnaround latency and the effective
+// delivered bandwidth at each offered load.
+//
+// Under light load the turnaround is the pipeline latency; as offered load
+// approaches the channel's capacity the queue grows and latency rises
+// steeply, while delivered bandwidth saturates at the effective peak.
+package microbench
+
+import (
+	"fmt"
+
+	"delta/internal/gpu"
+	"delta/internal/sim/dram"
+)
+
+// Point is one sample of the Fig. 18 curve.
+type Point struct {
+	OfferedGBs  float64 // offered load
+	AchievedGBs float64 // delivered bandwidth
+	LatencyClk  float64 // mean turnaround latency
+	Saturated   bool    // queue grew without bound at this load
+}
+
+// Sweep runs the micro-benchmark on a device's DRAM channel: for each
+// offered load (fractions of peak), issue fixed-size requests at the
+// matching rate and measure turnaround and delivered bandwidth.
+func Sweep(d gpu.Device, fractions []float64, requests int) ([]Point, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if requests <= 0 {
+		return nil, fmt.Errorf("microbench: requests must be positive")
+	}
+	peak := d.DRAMBytesPerClk()
+	const reqBytes = 128.0
+
+	out := make([]Point, 0, len(fractions))
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("microbench: non-positive load fraction %v", f)
+		}
+		ch, err := dram.NewChannel(peak, d.LatDRAMClk)
+		if err != nil {
+			return nil, err
+		}
+		offered := peak * f       // bytes per clock
+		gap := reqBytes / offered // clocks between requests
+		var lastDone float64
+		for i := 0; i < requests; i++ {
+			now := float64(i) * gap
+			done := ch.Read(now, reqBytes)
+			if done > lastDone {
+				lastDone = done
+			}
+		}
+		elapsed := lastDone
+		delivered := reqBytes * float64(requests) / elapsed // bytes per clock
+		st := ch.Stats()
+		out = append(out, Point{
+			OfferedGBs:  offered * d.ClockGHz,
+			AchievedGBs: delivered * d.ClockGHz,
+			LatencyClk:  st.MeanTurnaroundClk,
+			Saturated:   f >= 1,
+		})
+	}
+	return out, nil
+}
+
+// DefaultFractions is the offered-load sweep used by the Fig. 18
+// experiment: from 5% of peak to 30% beyond it.
+func DefaultFractions() []float64 {
+	return []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.1, 1.3}
+}
+
+// KneePoint returns the achieved bandwidth (GB/s) where latency first
+// exceeds twice the unloaded latency — the paper's "effective bandwidth"
+// reading of Fig. 18.
+func KneePoint(points []Point, d gpu.Device) (float64, error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("microbench: no points")
+	}
+	unloaded := points[0].LatencyClk
+	for _, p := range points {
+		if p.LatencyClk > 2*unloaded {
+			return p.AchievedGBs, nil
+		}
+	}
+	// Never saturated within the sweep: the knee is at the last point.
+	return points[len(points)-1].AchievedGBs, nil
+}

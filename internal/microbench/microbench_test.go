@@ -1,0 +1,78 @@
+package microbench
+
+import (
+	"testing"
+
+	"delta/internal/gpu"
+)
+
+func TestSweepShape(t *testing.T) {
+	d := gpu.TitanXp()
+	pts, err := Sweep(d, DefaultFractions(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(DefaultFractions()) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Light load: latency near the pipeline latency.
+	if pts[0].LatencyClk > d.LatDRAMClk*1.1 {
+		t.Errorf("light-load latency = %v, want ~%v", pts[0].LatencyClk, d.LatDRAMClk)
+	}
+	// Overload: latency far above pipeline latency (the hockey stick).
+	last := pts[len(pts)-1]
+	if last.LatencyClk < d.LatDRAMClk*3 {
+		t.Errorf("overload latency = %v, want queue blow-up", last.LatencyClk)
+	}
+	if !last.Saturated {
+		t.Error("final point not marked saturated")
+	}
+	// Achieved bandwidth never exceeds the device peak.
+	for _, p := range pts {
+		if p.AchievedGBs > d.DRAMBWGBs*1.01 {
+			t.Errorf("achieved %v GB/s above peak %v", p.AchievedGBs, d.DRAMBWGBs)
+		}
+	}
+	// Achieved bandwidth is monotone non-decreasing up to saturation.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Saturated {
+			break
+		}
+		if pts[i].AchievedGBs < pts[i-1].AchievedGBs*0.98 {
+			t.Errorf("achieved BW dropped before saturation at point %d", i)
+		}
+	}
+}
+
+func TestKneePointNearPeak(t *testing.T) {
+	for _, d := range gpu.All() {
+		pts, err := Sweep(d, DefaultFractions(), 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		knee, err := KneePoint(pts, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fig. 18: the knee sits near the effective peak bandwidth.
+		if knee < d.DRAMBWGBs*0.75 || knee > d.DRAMBWGBs*1.05 {
+			t.Errorf("%s: knee at %v GB/s, peak %v", d.Name, knee, d.DRAMBWGBs)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	d := gpu.TitanXp()
+	if _, err := Sweep(gpu.Device{}, DefaultFractions(), 100); err == nil {
+		t.Error("invalid device accepted")
+	}
+	if _, err := Sweep(d, DefaultFractions(), 0); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if _, err := Sweep(d, []float64{0}, 100); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := KneePoint(nil, d); err == nil {
+		t.Error("empty knee accepted")
+	}
+}

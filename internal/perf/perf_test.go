@@ -1,0 +1,243 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/traffic"
+)
+
+var xp = gpu.TitanXp()
+
+func mustResult(t *testing.T, l layers.Conv, d gpu.Device) Result {
+	t.Helper()
+	r, err := ModelLayer(l, d, traffic.Options{})
+	if err != nil {
+		t.Fatalf("ModelLayer(%s): %v", l.Name, err)
+	}
+	return r
+}
+
+func TestBottleneckString(t *testing.T) {
+	want := []string{"MAC_BW", "SMEM_BW", "L1_BW", "L2_BW", "DRAM_BW", "DRAM_LAT"}
+	for i, b := range Bottlenecks() {
+		if b.String() != want[i] {
+			t.Errorf("bottleneck %d = %q, want %q", i, b.String(), want[i])
+		}
+	}
+	if s := Bottleneck(99).String(); s != "Bottleneck(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+func TestComputeBoundLayer(t *testing.T) {
+	// A deep 3x3 conv with a modest feature map is the canonical
+	// compute-bound case (90% of the paper's layers are MAC-bound).
+	l := layers.Conv{Name: "cb", B: 256, Ci: 256, Hi: 13, Wi: 13, Co: 384, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := mustResult(t, l, xp)
+	if r.Bottleneck != MACBW {
+		t.Errorf("bottleneck = %v, want MAC_BW (tCS=%.0f tSAS=%.0f tGLS=%.0f)",
+			r.Bottleneck, r.TCS, r.TSAS, r.TGLS)
+	}
+	// Lower bound: pure-MAC time = MACs / (peak MACs/clk).
+	ideal := l.MACs() / (xp.MACPerClkPerSM() * float64(xp.NumSM))
+	if r.Cycles < ideal {
+		t.Errorf("cycles %v below the arithmetic lower bound %v", r.Cycles, ideal)
+	}
+	if r.Cycles > ideal*3 {
+		t.Errorf("compute-bound layer %vx off the arithmetic bound", r.Cycles/ideal)
+	}
+	if r.Utilization < 0.3 || r.Utilization > 1 {
+		t.Errorf("utilization = %v", r.Utilization)
+	}
+}
+
+func TestTCSMatchesEq13(t *testing.T) {
+	l := layers.Conv{Name: "eq13", B: 256, Ci: 64, Hi: 56, Wi: 56, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := mustResult(t, l, xp)
+	// (128*128*8) MACs / 128 MAC/clk = 1024 clk.
+	want := 128.0 * 128 * 8 / xp.MACPerClkPerSM()
+	if math.Abs(r.TCS-want) > 1e-9 {
+		t.Errorf("TCS = %v, want %v", r.TCS, want)
+	}
+}
+
+func TestTSASMatchesEq12(t *testing.T) {
+	l := layers.Conv{Name: "eq12", B: 256, Ci: 64, Hi: 56, Wi: 56, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := mustResult(t, l, xp)
+	// Stores: (128+128)*8*4 = 8192 B at 128 B/clk = 64 clk.
+	// Loads: (64+32)*8*4*8 warps = 24576 B at 128 B/clk = 192 clk.
+	if want := 64.0 + 192.0; math.Abs(r.TSAS-want) > 1e-9 {
+		t.Errorf("TSAS = %v, want %v", r.TSAS, want)
+	}
+}
+
+func TestGLSIncludesLatencyFloor(t *testing.T) {
+	l := layers.Conv{Name: "gls", B: 256, Ci: 64, Hi: 56, Wi: 56, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := mustResult(t, l, xp)
+	if r.TGLS < xp.LatDRAMClk {
+		t.Errorf("TGLS = %v below DRAM pipeline latency %v", r.TGLS, xp.LatDRAMClk)
+	}
+}
+
+func TestMemoryBoundWhenComputeScaled(t *testing.T) {
+	// Scaling MAC throughput 8x with unchanged memory must shift the
+	// bottleneck off MAC_BW for a large-feature layer (the premise of the
+	// scaling study).
+	l := layers.Conv{Name: "mb", B: 256, Ci: 64, Hi: 112, Wi: 112, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	fast := (gpu.Scale{MACPerSM: 8}).Apply(xp)
+	r, err := ModelLayer(l, fast, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bottleneck == MACBW {
+		t.Errorf("8x-MAC device still MAC-bound (tCS=%v tGLS=%v tBW=%v)", r.TCS, r.TGLS, r.TBWPath)
+	}
+}
+
+func TestLatencyBoundTinyLayer(t *testing.T) {
+	// A layer with very few CTAs cannot hide DRAM latency: the Eq. 17 path
+	// should dominate or at least exceed the pure-compute path.
+	l := layers.Conv{Name: "tiny", B: 1, Ci: 32, Hi: 7, Wi: 7, Co: 64, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := mustResult(t, l, xp)
+	if r.TLATPath <= r.TMACPath {
+		t.Errorf("tiny layer: TLATPath %v should exceed TMACPath %v", r.TLATPath, r.TMACPath)
+	}
+	if r.Bottleneck != DRAMLAT {
+		t.Errorf("bottleneck = %v, want DRAM_LAT", r.Bottleneck)
+	}
+}
+
+func TestCyclesIsMaxOfCandidates(t *testing.T) {
+	l := layers.Conv{Name: "max", B: 64, Ci: 192, Hi: 28, Wi: 28, Co: 96, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := mustResult(t, l, xp)
+	want := math.Max(r.TMACPath, math.Max(r.TLATPath, r.TBWPath))
+	if r.Cycles != want {
+		t.Errorf("Cycles = %v, want max of candidates %v", r.Cycles, want)
+	}
+	if r.Seconds != xp.CyclesToSeconds(r.Cycles) {
+		t.Errorf("Seconds inconsistent with Cycles")
+	}
+}
+
+func TestDeviceMismatchRejected(t *testing.T) {
+	l := layers.Conv{Name: "mm", B: 8, Ci: 16, Hi: 14, Wi: 14, Co: 32, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	e, err := traffic.Model(l, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Model(e, gpu.V100()); err == nil {
+		t.Error("cross-device estimate accepted")
+	}
+}
+
+func TestNetworkTimeAndHistogram(t *testing.T) {
+	ls := []layers.Conv{
+		{Name: "a", B: 64, Ci: 64, Hi: 28, Wi: 28, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+		{Name: "b", B: 64, Ci: 128, Hi: 14, Wi: 14, Co: 256, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+	}
+	rs, err := ModelAll(ls, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unweighted := NetworkTime(rs, nil)
+	if unweighted != rs[0].Seconds+rs[1].Seconds {
+		t.Error("unweighted NetworkTime mismatch")
+	}
+	weighted := NetworkTime(rs, []int{3, 2})
+	if math.Abs(weighted-(3*rs[0].Seconds+2*rs[1].Seconds)) > 1e-18 {
+		t.Error("weighted NetworkTime mismatch")
+	}
+	h := BottleneckHistogram(rs, []int{3, 2})
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("histogram total = %d, want 5", total)
+	}
+}
+
+func quickLayer(b, ci, hw, co, fs uint8) layers.Conv {
+	f := 1 + 2*(int(fs)%3)
+	return layers.Conv{
+		Name: "q", B: 1 + int(b)%64, Ci: 1 + int(ci)%512,
+		Hi: 4 + int(hw)%64, Wi: 4 + int(hw)%64,
+		Co: 1 + int(co)%512, Hf: f, Wf: f,
+		Stride: 1, Pad: f / 2,
+	}
+}
+
+// TestQuickPositiveAndBounded: every prediction is positive, finite, and at
+// least the arithmetic lower bound.
+func TestQuickPositiveAndBounded(t *testing.T) {
+	devs := gpu.All()
+	f := func(b, ci, hw, co, fs, di uint8) bool {
+		l := quickLayer(b, ci, hw, co, fs)
+		if l.Validate() != nil {
+			return true
+		}
+		d := devs[int(di)%len(devs)]
+		r, err := ModelLayer(l, d, traffic.Options{})
+		if err != nil {
+			return false
+		}
+		ideal := l.MACs() / (d.MACPerClkPerSM() * float64(d.NumSM))
+		return r.Cycles > 0 && !math.IsInf(r.Cycles, 0) && !math.IsNaN(r.Cycles) &&
+			r.Cycles >= ideal*0.99 &&
+			r.Utilization > 0 && r.Utilization <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMoreComputeNeverSlower: scaling MAC throughput up never increases
+// predicted execution time.
+func TestQuickMoreComputeNeverSlower(t *testing.T) {
+	f := func(b, ci, hw, co, fs uint8) bool {
+		l := quickLayer(b, ci, hw, co, fs)
+		if l.Validate() != nil {
+			return true
+		}
+		base, err := ModelLayer(l, xp, traffic.Options{})
+		if err != nil {
+			return false
+		}
+		fast, err := ModelLayer(l, (gpu.Scale{MACPerSM: 2}).Apply(xp), traffic.Options{})
+		if err != nil {
+			return false
+		}
+		return fast.Cycles <= base.Cycles*1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMoreBandwidthNeverSlower: scaling all memory bandwidths up never
+// increases predicted execution time.
+func TestQuickMoreBandwidthNeverSlower(t *testing.T) {
+	f := func(b, ci, hw, co, fs uint8) bool {
+		l := quickLayer(b, ci, hw, co, fs)
+		if l.Validate() != nil {
+			return true
+		}
+		base, err := ModelLayer(l, xp, traffic.Options{})
+		if err != nil {
+			return false
+		}
+		d := (gpu.Scale{L1BW: 2, L2BW: 2, DRAMBW: 2, SMEMBW: 2}).Apply(xp)
+		fast, err := ModelLayer(l, d, traffic.Options{})
+		if err != nil {
+			return false
+		}
+		return fast.Cycles <= base.Cycles*1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

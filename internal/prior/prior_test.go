@@ -1,0 +1,120 @@
+package prior
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/traffic"
+)
+
+var xp = gpu.TitanXp()
+
+var reuseLayer = layers.Conv{
+	Name: "reuse", B: 256, Ci: 192, Hi: 28, Wi: 28, Co: 96, Hf: 5, Wf: 5, Stride: 1, Pad: 2,
+}
+
+func TestFixMissRateScaling(t *testing.T) {
+	e, err := traffic.Model(reuseLayer, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FixMissRate(e, 1.0)
+	if p.L2Bytes != e.L1Bytes {
+		t.Errorf("MR=1: L2 = %v, want L1 = %v", p.L2Bytes, e.L1Bytes)
+	}
+	if p.DRAMBytes != e.L1Bytes {
+		t.Errorf("MR=1: DRAM = %v, want L1 = %v", p.DRAMBytes, e.L1Bytes)
+	}
+	half := FixMissRate(e, 0.5)
+	if math.Abs(half.L2Bytes-e.L1Bytes*0.5) > 1e-6 {
+		t.Errorf("MR=0.5: L2 = %v", half.L2Bytes)
+	}
+	if math.Abs(half.DRAMBytes-e.L1Bytes*0.25) > 1e-6 {
+		t.Errorf("MR=0.5: DRAM = %v", half.DRAMBytes)
+	}
+	// L1 traffic untouched.
+	if p.L1Bytes != e.L1Bytes {
+		t.Error("FixMissRate changed L1 traffic")
+	}
+}
+
+func TestPriorOverestimatesReuseHeavyLayers(t *testing.T) {
+	// Fig. 12: for large filters the MR=1 model inflates DRAM traffic by
+	// orders of magnitude relative to DeLTA.
+	e, err := traffic.Model(reuseLayer, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FixMissRate(e, 1.0)
+	if ratio := p.DRAMBytes / e.DRAMBytes; ratio < 10 {
+		t.Errorf("MR=1 DRAM inflation = %.1fx, want >= 10x on a 5x5 layer", ratio)
+	}
+	// 1x1 layers have little reuse, so the deviation is small (Fig. 12).
+	pw := layers.Conv{Name: "pw", B: 256, Ci: 512, Hi: 14, Wi: 14, Co: 128, Hf: 1, Wf: 1, Stride: 1}
+	epw, err := traffic.Model(pw, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppw := FixMissRate(epw, 1.0)
+	if ratio := ppw.DRAMBytes / epw.DRAMBytes; ratio > 8 {
+		t.Errorf("MR=1 DRAM inflation on 1x1 layer = %.1fx, want modest", ratio)
+	}
+}
+
+func TestPriorPerfSlowerOrEqual(t *testing.T) {
+	// Inflated traffic can only increase the predicted execution time.
+	delta, err := traffic.Model(reuseLayer, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := Model(reuseLayer, xp, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Model(reuseLayer, xp, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = delta
+	if pr.Cycles < dr.Cycles {
+		t.Errorf("MR=1 prediction %v faster than MR~0 prediction %v", pr.Cycles, dr.Cycles)
+	}
+}
+
+func TestMissRatesSweep(t *testing.T) {
+	mrs := MissRates()
+	if len(mrs) != 4 || mrs[3] != 1.0 || mrs[0] != 0.3 {
+		t.Errorf("MissRates() = %v", mrs)
+	}
+}
+
+func TestQuickMissRateMonotone(t *testing.T) {
+	// Higher miss rate -> more modeled traffic -> never faster.
+	f := func(ci, hw, co uint8, mrSeed uint8) bool {
+		l := layers.Conv{
+			Name: "q", B: 32, Ci: 1 + int(ci)%256,
+			Hi: 7 + int(hw)%50, Wi: 7 + int(hw)%50,
+			Co: 1 + int(co)%256, Hf: 3, Wf: 3, Stride: 1, Pad: 1,
+		}
+		if l.Validate() != nil {
+			return true
+		}
+		lo := 0.1 + float64(mrSeed%8)/10 // 0.1 .. 0.8
+		hi := lo + 0.2
+		rlo, err := Model(l, xp, lo)
+		if err != nil {
+			return false
+		}
+		rhi, err := Model(l, xp, hi)
+		if err != nil {
+			return false
+		}
+		return rhi.Cycles >= rlo.Cycles*0.9999999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package roofline
+
+import (
+	"testing"
+
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/perf"
+	"delta/internal/traffic"
+)
+
+var xp = gpu.TitanXp()
+
+func TestComputeBoundLayer(t *testing.T) {
+	// A deep 3x3 conv has intensity far above the TITAN Xp ridge
+	// (~28 FLOPs/B): compute-bound.
+	l := layers.Conv{Name: "cb", B: 256, Ci: 256, Hi: 13, Wi: 13, Co: 384, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r, err := Model(l, xp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != ComputeBound {
+		t.Errorf("bound = %v (intensity %.1f, ridge %.1f)", r.Bound, r.Intensity, r.Ridge)
+	}
+	if r.Seconds != r.ArithmeticSeconds {
+		t.Error("compute-bound time not the arithmetic roof")
+	}
+	if r.Intensity <= r.Ridge {
+		t.Errorf("intensity %v should exceed ridge %v", r.Intensity, r.Ridge)
+	}
+}
+
+func TestMemoryBoundLayer(t *testing.T) {
+	// A 1x1 conv with few channels moves many bytes per FLOP.
+	l := layers.Conv{Name: "mb", B: 256, Ci: 16, Hi: 112, Wi: 112, Co: 16, Hf: 1, Wf: 1, Stride: 1}
+	r, err := Model(l, xp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != MemoryBound {
+		t.Errorf("bound = %v (intensity %.1f, ridge %.1f)", r.Bound, r.Intensity, r.Ridge)
+	}
+	if r.Bound.String() != "memory" {
+		t.Errorf("Bound.String = %q", r.Bound.String())
+	}
+}
+
+func TestArithmeticRoofIsLowerBound(t *testing.T) {
+	// The arithmetic roof is a hard lower bound on any DeLTA prediction
+	// (DeLTA charges real coalescing and reuse inefficiencies on top).
+	// The memory roof is NOT comparable: it charges OFmap stores against
+	// DRAM bandwidth that the paper's epilogue model overlaps.
+	ls := []layers.Conv{
+		{Name: "a", B: 64, Ci: 256, Hi: 13, Wi: 13, Co: 384, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+		{Name: "b", B: 64, Ci: 64, Hi: 56, Wi: 56, Co: 64, Hf: 1, Wf: 1, Stride: 1},
+		{Name: "c", B: 64, Ci: 96, Hi: 28, Wi: 28, Co: 128, Hf: 5, Wf: 5, Stride: 1, Pad: 2},
+	}
+	for _, l := range ls {
+		rf, err := Model(l, xp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl, err := perf.ModelLayer(l, xp, traffic.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf.ArithmeticSeconds > dl.Seconds*1.001 {
+			t.Errorf("%s: arithmetic roof %v above DeLTA %v", l.Name, rf.ArithmeticSeconds, dl.Seconds)
+		}
+	}
+}
+
+func TestRooflineUnderestimatesInefficientLayers(t *testing.T) {
+	// AlexNet conv1 (stride 4, terrible coalescing): the roofline misses
+	// the L1 inefficiency entirely and under-predicts DeLTA noticeably —
+	// the gap that motivates traffic modeling.
+	l := layers.Conv{Name: "a1", B: 256, Ci: 3, Hi: 227, Wi: 227, Co: 96, Hf: 11, Wf: 11, Stride: 4}
+	rf, err := Model(l, xp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := perf.ModelLayer(l, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Seconds < rf.Seconds*1.2 {
+		t.Errorf("DeLTA %v should exceed roofline %v by >20%% on conv1", dl.Seconds, rf.Seconds)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Model(layers.Conv{Name: "bad"}, xp); err == nil {
+		t.Error("invalid layer accepted")
+	}
+	l := layers.Conv{Name: "ok", B: 1, Ci: 1, Hi: 4, Wi: 4, Co: 1, Hf: 1, Wf: 1, Stride: 1}
+	if _, err := Model(l, gpu.Device{}); err == nil {
+		t.Error("invalid device accepted")
+	}
+}

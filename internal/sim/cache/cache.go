@@ -1,0 +1,233 @@
+// Package cache implements the sectored, set-associative cache model the
+// trace-driven simulator uses for GPU L1 and L2 caches.
+//
+// GPU caches tag at 128-byte line granularity but fill at 32-byte sector
+// granularity (the paper's "minimum memory transaction granularity",
+// Section IV): a miss on a sector of an already-present line fetches only
+// that sector. Replacement is LRU within a set.
+package cache
+
+import "fmt"
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes   int // total data capacity
+	LineBytes   int // tag granularity
+	SectorBytes int // fill granularity
+	Ways        int // associativity
+}
+
+// Validate reports whether the configuration is geometrically consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.SectorBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	case c.LineBytes%c.SectorBytes != 0:
+		return fmt.Errorf("cache: line %d not a multiple of sector %d", c.LineBytes, c.SectorBytes)
+	case c.LineBytes/c.SectorBytes > 64:
+		return fmt.Errorf("cache: more than 64 sectors per line")
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*ways %d", c.SizeBytes, c.LineBytes*c.Ways)
+	}
+	return nil
+}
+
+// Stats counts sector-granularity cache events.
+type Stats struct {
+	SectorAccesses uint64 // sectors referenced (loads)
+	SectorHits     uint64
+	SectorMisses   uint64 // sectors fetched from the next level
+	LineEvictions  uint64
+
+	SectorWrites    uint64 // sectors written (stores)
+	DirtyWritebacks uint64 // dirty sectors evicted to the next level
+}
+
+// MissRate returns misses / accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.SectorAccesses == 0 {
+		return 0
+	}
+	return float64(s.SectorMisses) / float64(s.SectorAccesses)
+}
+
+type way struct {
+	tag     int64
+	valid   uint64 // per-sector valid bits
+	dirty   uint64 // per-sector dirty bits
+	lastUse uint64
+	live    bool
+}
+
+// Cache is a sectored set-associative LRU cache. Not safe for concurrent
+// use; the engine drives each cache from a single goroutine.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	numSets int64
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache; it panics on an invalid config (a programmer error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		numSets: int64(numSets),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// AccessSector references one sector by byte address. It returns true on a
+// hit; on a miss the sector is filled (fetching SectorBytes from the next
+// level, which the caller accounts for).
+func (c *Cache) AccessSector(byteAddr int64) bool {
+	c.tick++
+	c.stats.SectorAccesses++
+
+	lineAddr := byteAddr / int64(c.cfg.LineBytes)
+	sector := uint(byteAddr % int64(c.cfg.LineBytes) / int64(c.cfg.SectorBytes))
+	setIdx := lineAddr % c.numSets
+	set := c.sets[setIdx]
+
+	// Probe for the line.
+	for i := range set {
+		w := &set[i]
+		if w.live && w.tag == lineAddr {
+			w.lastUse = c.tick
+			if w.valid&(1<<sector) != 0 {
+				c.stats.SectorHits++
+				return true
+			}
+			// Line present, sector not: sector fill.
+			w.valid |= 1 << sector
+			c.stats.SectorMisses++
+			return false
+		}
+	}
+
+	// Line absent: evict LRU way, install line with this sector.
+	c.install(set, lineAddr, sector, false)
+	c.stats.SectorMisses++
+	return false
+}
+
+// WriteSector writes one sector by byte address with write-back,
+// write-validate allocation: a full-sector store installs the sector
+// without fetching it (no read traffic), marking it dirty. The dirty data
+// reaches the next level only on eviction (DirtyWritebacks).
+func (c *Cache) WriteSector(byteAddr int64) {
+	c.tick++
+	c.stats.SectorWrites++
+
+	lineAddr := byteAddr / int64(c.cfg.LineBytes)
+	sector := uint(byteAddr % int64(c.cfg.LineBytes) / int64(c.cfg.SectorBytes))
+	setIdx := lineAddr % c.numSets
+	set := c.sets[setIdx]
+
+	for i := range set {
+		w := &set[i]
+		if w.live && w.tag == lineAddr {
+			w.lastUse = c.tick
+			w.valid |= 1 << sector
+			w.dirty |= 1 << sector
+			return
+		}
+	}
+	c.install(set, lineAddr, sector, true)
+}
+
+// install evicts the LRU way of the set (counting dirty writebacks) and
+// fills it with a fresh line holding one sector.
+func (c *Cache) install(set []way, lineAddr int64, sector uint, dirty bool) {
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].live {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].live {
+		c.stats.LineEvictions++
+		c.countWritebacks(set[victim].dirty)
+	}
+	w := way{tag: lineAddr, valid: 1 << sector, lastUse: c.tick, live: true}
+	if dirty {
+		w.dirty = 1 << sector
+	}
+	set[victim] = w
+}
+
+func (c *Cache) countWritebacks(dirty uint64) {
+	for ; dirty != 0; dirty &= dirty - 1 {
+		c.stats.DirtyWritebacks++
+	}
+}
+
+// FlushDirty writes back every dirty sector still resident (end of kernel)
+// and returns the number flushed; counters include them as DirtyWritebacks.
+func (c *Cache) FlushDirty() uint64 {
+	before := c.stats.DirtyWritebacks
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].live {
+				c.countWritebacks(set[i].dirty)
+				set[i].dirty = 0
+			}
+		}
+	}
+	return c.stats.DirtyWritebacks - before
+}
+
+// AccessBytes references every sector overlapped by [byteAddr,
+// byteAddr+size) and returns the number of sector misses.
+func (c *Cache) AccessBytes(byteAddr int64, size int) (misses int) {
+	sb := int64(c.cfg.SectorBytes)
+	first := byteAddr / sb
+	last := (byteAddr + int64(size) - 1) / sb
+	for s := first; s <= last; s++ {
+		if !c.AccessSector(s * sb) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// MissBytes returns the bytes fetched from the next level so far.
+func (c *Cache) MissBytes() uint64 {
+	return c.stats.SectorMisses * uint64(c.cfg.SectorBytes)
+}
+
+// AccessBytesTotal returns the bytes referenced so far (sector granularity).
+func (c *Cache) AccessBytesTotal() uint64 {
+	return c.stats.SectorAccesses * uint64(c.cfg.SectorBytes)
+}

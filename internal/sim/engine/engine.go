@@ -1,0 +1,280 @@
+// Package engine drives the im2col GEMM's warp-level load trace through a
+// simulated GPU memory hierarchy — per-SM sectored L1 caches, one shared
+// sectored L2, and a DRAM byte counter — under column-major CTA scheduling
+// with round-robin SM assignment.
+//
+// The engine substitutes for the paper's nvprof measurements: its traffic
+// counters at each level are the "measured" side of every model-vs-measured
+// figure (DESIGN.md, Substitutions).
+package engine
+
+import (
+	"fmt"
+
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/sim/cache"
+	"delta/internal/sim/trace"
+	"delta/internal/tiling"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	Device gpu.Device
+
+	// L1Ways / L2Ways set cache associativity (defaults 4 and 16).
+	L1Ways, L2Ways int
+
+	// SkipPadding predicates off loads into the zero-padding halo. The
+	// paper's accounting keeps them; default false.
+	SkipPadding bool
+
+	// RowMajorScheduling orders CTAs row-major instead of the paper's
+	// column-wise order (Section IV-C). With many CTA columns this
+	// lengthens the filter-tile reuse distance: an ablation that validates
+	// the scheduling assumption behind the DRAM model.
+	RowMajorScheduling bool
+
+	// MaxWaves truncates the simulation after the given number of CTA
+	// waves (0 = run everything). Counters are NOT scaled; callers that
+	// sample must scale. Used only to bound very large experiments.
+	MaxWaves int
+}
+
+func (c Config) withDefaults() Config {
+	if c.L1Ways == 0 {
+		c.L1Ways = 4
+	}
+	if c.L2Ways == 0 {
+		c.L2Ways = 16
+	}
+	return c
+}
+
+// Result holds the simulated ("measured") traffic of one layer.
+type Result struct {
+	Layer  layers.Conv
+	Device string
+	Grid   tiling.Grid
+
+	L1Requests uint64 // warp-level L1 requests after coalescing
+
+	// Measured load traffic in bytes, defined exactly like nvprof counts
+	// them: L1 = requests x request granularity; L2 = L1 sector misses x
+	// 32 B; DRAM = L2 sector misses x 32 B.
+	L1Bytes   float64
+	L2Bytes   float64
+	DRAMBytes float64
+
+	// StoreBytes is the epilogue OFmap write volume issued to L2 (sector
+	// granularity; global stores bypass L1 on the modeled devices).
+	StoreBytes float64
+
+	// DRAMWriteBytes is the dirty-writeback volume reaching DRAM,
+	// including the end-of-kernel flush.
+	DRAMWriteBytes float64
+
+	L1Stats cache.Stats // aggregated over all SM L1s
+	L2Stats cache.Stats
+
+	SimulatedCTAs int
+	TotalCTAs     int
+}
+
+// MissRateL1 returns L2 bytes / L1 bytes, the Fig. 4 quantity.
+func (r Result) MissRateL1() float64 {
+	if r.L1Bytes == 0 {
+		return 0
+	}
+	return r.L2Bytes / r.L1Bytes
+}
+
+// MissRateL2 returns DRAM bytes / L2 bytes.
+func (r Result) MissRateL2() float64 {
+	if r.L2Bytes == 0 {
+		return 0
+	}
+	return r.DRAMBytes / r.L2Bytes
+}
+
+// Scale returns the factor to extrapolate sampled traffic to the full
+// launch (TotalCTAs / SimulatedCTAs); 1 when the run was complete.
+func (r Result) Scale() float64 {
+	if r.SimulatedCTAs == 0 {
+		return 0
+	}
+	return float64(r.TotalCTAs) / float64(r.SimulatedCTAs)
+}
+
+// Run simulates one layer. Tile selection follows the stock Fig. 6 lookup.
+func Run(l layers.Conv, cfg Config) (Result, error) {
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
+	return RunGrid(l, tiling.NewGrid(l), cfg)
+}
+
+// RunGrid simulates one layer with an explicit CTA grid.
+func RunGrid(l layers.Conv, grid tiling.Grid, cfg Config) (Result, error) {
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
+	d := cfg.Device
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+
+	gen := trace.New(l, grid, cfg.SkipPadding)
+	co := trace.NewCoalescer(d.L1ReqBytes, d.SectorBytes)
+
+	l1s := make([]*cache.Cache, d.NumSM)
+	l1Size := int(d.L1SizeKBPerSM * 1024)
+	l1Size -= l1Size % (d.LineBytes * cfg.L1Ways)
+	if l1Size < d.LineBytes*cfg.L1Ways {
+		l1Size = d.LineBytes * cfg.L1Ways
+	}
+	for i := range l1s {
+		l1s[i] = cache.New(cache.Config{
+			SizeBytes: l1Size, LineBytes: d.LineBytes,
+			SectorBytes: d.SectorBytes, Ways: cfg.L1Ways,
+		})
+	}
+	l2Size := int(d.L2SizeBytes())
+	l2Size -= l2Size % (d.LineBytes * cfg.L2Ways)
+	l2 := cache.New(cache.Config{
+		SizeBytes: l2Size, LineBytes: d.LineBytes,
+		SectorBytes: d.SectorBytes, Ways: cfg.L2Ways,
+	})
+
+	res := Result{Layer: l, Device: d.Name, Grid: grid, TotalCTAs: grid.NumCTA()}
+	sectorBytes := float64(d.SectorBytes)
+	reqBytes := float64(d.L1ReqBytes)
+	var dramSectors uint64
+
+	// One warp request: coalesce, probe L1, forward misses to L2, count
+	// L2 misses as DRAM sectors.
+	issue := func(l1 *cache.Cache) trace.VisitFn {
+		return func(addrs []int64) {
+			reqs := co.Coalesce(addrs)
+			res.L1Requests += uint64(reqs)
+			for _, s := range co.Sectors() {
+				byteAddr := s * co.SectorBytes()
+				if !l1.AccessSector(byteAddr) {
+					if !l2.AccessSector(byteAddr) {
+						dramSectors++
+					}
+				}
+			}
+		}
+	}
+
+	// Column-major CTA order (Section IV-C: column-wise scheduling for the
+	// skinny im2col GEMM), assigned round-robin to SMs, executed in waves
+	// of NumSM x ActiveCTAs CTAs. Within a wave, loops proceed in lockstep
+	// across CTAs so concurrently-resident CTAs interleave in L2 — the
+	// behaviour the DRAM model's reuse argument (Fig. 8) relies on.
+	active := grid.ActiveCTAs(d)
+	waveSize := d.NumSM * active
+	loops := grid.MainLoops()
+	numCTA := grid.NumCTA()
+
+	// Epilogue stores: each CTA writes its blkM x blkN block of the
+	// row-major M x N OFmap, which lives after the weight region. Stores
+	// bypass L1 and write-allocate in L2.
+	ofmapBase := gen.FilterBase() + int64(grid.K)*int64(grid.N)*layers.ElemBytes
+	sb := int64(d.SectorBytes)
+	storeCTA := func(row, col int) {
+		m0 := row * grid.Tile.BlkM
+		n0 := col * grid.Tile.BlkN
+		nEnd := n0 + grid.Tile.BlkN
+		if nEnd > grid.N {
+			nEnd = grid.N
+		}
+		for m := m0; m < m0+grid.Tile.BlkM && m < grid.M; m++ {
+			start := ofmapBase + (int64(m)*int64(grid.N)+int64(n0))*layers.ElemBytes
+			end := ofmapBase + (int64(m)*int64(grid.N)+int64(nEnd))*layers.ElemBytes
+			for s := start / sb; s*sb < end; s++ {
+				l2.WriteSector(s * sb)
+			}
+		}
+	}
+
+	type ctaID struct{ row, col, sm int }
+	wave := make([]ctaID, 0, waveSize)
+	waves := 0
+	flush := func() {
+		if len(wave) == 0 {
+			return
+		}
+		for loop := 0; loop < loops; loop++ {
+			for _, c := range wave {
+				v := issue(l1s[c.sm])
+				gen.IFmapLoop(c.row, loop, v)
+				gen.FilterLoop(c.col, loop, v)
+			}
+		}
+		for _, c := range wave {
+			storeCTA(c.row, c.col)
+		}
+		res.SimulatedCTAs += len(wave)
+		wave = wave[:0]
+		waves++
+	}
+
+	idx := 0
+	enqueue := func(rowIdx, colIdx int) bool {
+		wave = append(wave, ctaID{row: rowIdx, col: colIdx, sm: idx % d.NumSM})
+		idx++
+		if len(wave) == waveSize {
+			flush()
+			if cfg.MaxWaves > 0 && waves >= cfg.MaxWaves {
+				return false
+			}
+		}
+		return true
+	}
+	schedule := func() {
+		if cfg.RowMajorScheduling {
+			for rowIdx := 0; rowIdx < grid.Rows; rowIdx++ {
+				for colIdx := 0; colIdx < grid.Cols; colIdx++ {
+					if !enqueue(rowIdx, colIdx) {
+						return
+					}
+				}
+			}
+			return
+		}
+		for colIdx := 0; colIdx < grid.Cols; colIdx++ {
+			for rowIdx := 0; rowIdx < grid.Rows; rowIdx++ {
+				if !enqueue(rowIdx, colIdx) {
+					return
+				}
+			}
+		}
+	}
+	schedule()
+	if cfg.MaxWaves == 0 || waves < cfg.MaxWaves {
+		flush()
+	}
+	if res.SimulatedCTAs == 0 {
+		return Result{}, fmt.Errorf("engine: no CTAs simulated for %s (%d total)", l.Name, numCTA)
+	}
+
+	for _, c := range l1s {
+		s := c.Stats()
+		res.L1Stats.SectorAccesses += s.SectorAccesses
+		res.L1Stats.SectorHits += s.SectorHits
+		res.L1Stats.SectorMisses += s.SectorMisses
+		res.L1Stats.LineEvictions += s.LineEvictions
+	}
+	l2.FlushDirty()
+	res.L2Stats = l2.Stats()
+
+	res.L1Bytes = float64(res.L1Requests) * reqBytes
+	res.L2Bytes = float64(res.L1Stats.SectorMisses) * sectorBytes
+	res.DRAMBytes = float64(dramSectors) * sectorBytes
+	res.StoreBytes = float64(res.L2Stats.SectorWrites) * sectorBytes
+	res.DRAMWriteBytes = float64(res.L2Stats.DirtyWritebacks) * sectorBytes
+	return res, nil
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/traffic"
+)
+
+var xp = gpu.TitanXp()
+
+var testLayer = layers.Conv{
+	Name: "e", B: 4, Ci: 32, Hi: 14, Wi: 14, Co: 64, Hf: 3, Wf: 3, Stride: 1, Pad: 1,
+}
+
+func run(t *testing.T, l layers.Conv, cfg Config) Result {
+	t.Helper()
+	if cfg.Device.Name == "" {
+		cfg.Device = xp
+	}
+	r, err := Run(l, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", l.Name, err)
+	}
+	return r
+}
+
+func TestFlowConservation(t *testing.T) {
+	r := run(t, testLayer, Config{})
+	// Every L2 access is an L1 miss; every DRAM sector is an L2 miss.
+	if r.L2Stats.SectorAccesses != r.L1Stats.SectorMisses {
+		t.Errorf("L2 accesses %d != L1 misses %d", r.L2Stats.SectorAccesses, r.L1Stats.SectorMisses)
+	}
+	wantDRAM := float64(r.L2Stats.SectorMisses) * 32
+	if r.DRAMBytes != wantDRAM {
+		t.Errorf("DRAM bytes %v != L2 miss bytes %v", r.DRAMBytes, wantDRAM)
+	}
+	// Hierarchy ordering.
+	if !(r.DRAMBytes <= r.L2Bytes && r.L2Bytes <= r.L1Bytes) {
+		t.Errorf("ordering violated: L1=%v L2=%v DRAM=%v", r.L1Bytes, r.L2Bytes, r.DRAMBytes)
+	}
+	if r.SimulatedCTAs != r.TotalCTAs {
+		t.Errorf("simulated %d of %d CTAs", r.SimulatedCTAs, r.TotalCTAs)
+	}
+}
+
+func TestDRAMAtLeastFootprint(t *testing.T) {
+	// Compulsory misses: DRAM traffic covers at least the touched footprint
+	// (padded IFmap + filter), within sector rounding.
+	r := run(t, testLayer, Config{})
+	foot := testLayer.IFmapPaddedBytes() + testLayer.FilterBytes()
+	if r.DRAMBytes < foot*0.95 {
+		t.Errorf("DRAM %v below compulsory footprint %v", r.DRAMBytes, foot)
+	}
+}
+
+func TestDRAMNearFootprintWhenL2Fits(t *testing.T) {
+	// Whole working set (~105 KB) fits the 3 MB L2: DRAM traffic should be
+	// close to one footprint despite the CTA-column re-streaming.
+	l := layers.Conv{Name: "fits", B: 2, Ci: 32, Hi: 14, Wi: 14, Co: 256, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := run(t, l, Config{})
+	foot := l.IFmapPaddedBytes() + l.FilterBytes()
+	if ratio := r.DRAMBytes / foot; ratio > 1.6 {
+		t.Errorf("L2-resident layer re-read %vx its footprint from DRAM", ratio)
+	}
+}
+
+func TestColumnRestreamWhenL2Thrashes(t *testing.T) {
+	// IFmap (~25 MB) >> L2 (3 MB) and Co=256 gives 2 CTA columns: the
+	// second column pass cannot reuse L2 contents, so DRAM IFmap traffic
+	// approaches 2 footprints — the Eq. 10 mechanism.
+	l := layers.Conv{Name: "stream", B: 32, Ci: 64, Hi: 56, Wi: 56, Co: 256, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := run(t, l, Config{})
+	if r.Grid.Cols != 2 {
+		t.Fatalf("cols = %d, want 2", r.Grid.Cols)
+	}
+	foot := l.IFmapPaddedBytes()
+	if ratio := r.DRAMBytes / foot; ratio < 1.5 {
+		t.Errorf("thrashing layer DRAM/footprint = %v, want ~2 (column re-stream)", ratio)
+	}
+}
+
+func TestL1TrafficMatchesModelOrder(t *testing.T) {
+	// The simulator's L1 traffic should land in the same ballpark as the
+	// analytical model (the Fig. 11 claim). Allow a generous band here;
+	// precise agreement is asserted statistically in the experiments.
+	r := run(t, testLayer, Config{})
+	e, err := traffic.Model(testLayer, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := e.L1Bytes / r.L1Bytes
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("model/sim L1 ratio = %v (model %v, sim %v)", ratio, e.L1Bytes, r.L1Bytes)
+	}
+}
+
+func TestL2TrafficMatchesModelOrder(t *testing.T) {
+	r := run(t, testLayer, Config{})
+	e, err := traffic.Model(testLayer, xp, traffic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := e.L2Bytes / r.L2Bytes
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("model/sim L2 ratio = %v (model %v, sim %v)", ratio, e.L2Bytes, r.L2Bytes)
+	}
+}
+
+func TestSkipPaddingReducesTraffic(t *testing.T) {
+	full := run(t, testLayer, Config{})
+	skip := run(t, testLayer, Config{SkipPadding: true})
+	if skip.L1Requests > full.L1Requests {
+		t.Errorf("skip-padding issued more requests (%d > %d)", skip.L1Requests, full.L1Requests)
+	}
+	if skip.DRAMBytes >= full.DRAMBytes {
+		t.Errorf("skip-padding DRAM %v >= padded %v", skip.DRAMBytes, full.DRAMBytes)
+	}
+}
+
+func TestEpilogueStores(t *testing.T) {
+	r := run(t, testLayer, Config{})
+	// Issued store volume covers the OFmap exactly (sector rounding only).
+	want := testLayer.OFmapBytes()
+	if r.StoreBytes < want || r.StoreBytes > want*1.1 {
+		t.Errorf("store bytes = %v, want ~%v", r.StoreBytes, want)
+	}
+	// Streaming outputs all eventually reach DRAM.
+	if r.DRAMWriteBytes < want*0.9 || r.DRAMWriteBytes > want*1.1 {
+		t.Errorf("DRAM write bytes = %v, want ~%v", r.DRAMWriteBytes, want)
+	}
+}
+
+func TestSchedulingAblationMatchesEq10(t *testing.T) {
+	// Section IV-C assumes column-wise CTA scheduling, under which each of
+	// the grid's CTA columns re-streams the whole IFmap: DRAM traffic ~
+	// IFmap * cols + filter (Eq. 10). Row-major order instead shares each
+	// IFmap row-band across all columns and re-streams the (small) filter,
+	// moving *less* data for IFmap-dominated layers — i.e. Eq. 10 models
+	// cuDNN's observed schedule, not an optimal one, and the simulator
+	// reproduces exactly that distinction.
+	l := layers.Conv{Name: "sched", B: 16, Ci: 128, Hi: 28, Wi: 28, Co: 512, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	col := run(t, l, Config{})
+	row := run(t, l, Config{RowMajorScheduling: true})
+	if col.Grid.Cols < 4 {
+		t.Fatalf("need a multi-column grid, got %d", col.Grid.Cols)
+	}
+	eq10 := l.IFmapPaddedBytes()*float64(col.Grid.Cols) + l.FilterBytes()
+	if r := col.DRAMBytes / eq10; r < 0.7 || r > 1.3 {
+		t.Errorf("column-wise DRAM %v vs Eq. 10 %v (ratio %v)", col.DRAMBytes, eq10, r)
+	}
+	// Row-major keeps the IFmap resident per row band: well below Eq. 10.
+	if row.DRAMBytes >= col.DRAMBytes {
+		t.Errorf("row-major DRAM %v should undercut column-wise %v on an IFmap-dominated layer",
+			row.DRAMBytes, col.DRAMBytes)
+	}
+	// Both orders issue identical request streams at L1.
+	if col.L1Requests != row.L1Requests {
+		t.Errorf("L1 requests differ: %d vs %d", col.L1Requests, row.L1Requests)
+	}
+}
+
+func TestMaxWavesSampling(t *testing.T) {
+	l := layers.Conv{Name: "mw", B: 64, Ci: 32, Hi: 28, Wi: 28, Co: 64, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	r := run(t, l, Config{MaxWaves: 1})
+	if r.SimulatedCTAs >= r.TotalCTAs {
+		t.Fatalf("sampling did not truncate: %d of %d", r.SimulatedCTAs, r.TotalCTAs)
+	}
+	if r.Scale() <= 1 {
+		t.Errorf("scale = %v, want > 1", r.Scale())
+	}
+}
+
+func TestMissRatesInRange(t *testing.T) {
+	r := run(t, testLayer, Config{})
+	if mr := r.MissRateL1(); mr <= 0 || mr > 1 {
+		t.Errorf("L1 miss rate = %v", mr)
+	}
+	if mr := r.MissRateL2(); mr <= 0 || mr > 1 {
+		t.Errorf("L2 miss rate = %v", mr)
+	}
+}
+
+func TestPointwiseVsSpatialMissRates(t *testing.T) {
+	// 1x1 layers have little intra-tile reuse, so their L1 miss rate should
+	// exceed a reuse-heavy 3x3 layer's (the spread of Fig. 4).
+	pw := layers.Conv{Name: "pw", B: 4, Ci: 192, Hi: 28, Wi: 28, Co: 64, Hf: 1, Wf: 1, Stride: 1}
+	sp := layers.Conv{Name: "sp", B: 4, Ci: 96, Hi: 28, Wi: 28, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1}
+	rp := run(t, pw, Config{})
+	rs := run(t, sp, Config{})
+	if rp.MissRateL1() <= rs.MissRateL1() {
+		t.Errorf("1x1 L1 miss rate %v should exceed 3x3's %v", rp.MissRateL1(), rs.MissRateL1())
+	}
+}
+
+func TestVoltaRequestGranularity(t *testing.T) {
+	// The same layer on V100 (32 B requests) must issue more, smaller L1
+	// requests but less total L1 request traffic than Pascal's 128 B.
+	rx := run(t, testLayer, Config{Device: xp})
+	rv := run(t, testLayer, Config{Device: gpu.V100()})
+	if rv.L1Requests <= rx.L1Requests {
+		t.Errorf("V100 requests %d should exceed Pascal's %d", rv.L1Requests, rx.L1Requests)
+	}
+	if rv.L1Bytes >= rx.L1Bytes {
+		t.Errorf("V100 L1 bytes %v should be below Pascal's %v", rv.L1Bytes, rx.L1Bytes)
+	}
+}
+
+func TestBatchScalingApproxLinear(t *testing.T) {
+	small := run(t, testLayer, Config{})
+	big := run(t, testLayer.WithBatch(8), Config{})
+	ratio := big.L1Bytes / small.L1Bytes
+	if math.Abs(ratio-2) > 0.3 {
+		t.Errorf("L1 traffic batch scaling = %v, want ~2", ratio)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := Run(layers.Conv{Name: "bad"}, Config{Device: xp}); err == nil {
+		t.Error("invalid layer accepted")
+	}
+	if _, err := Run(testLayer, Config{}); err == nil {
+		t.Error("zero device accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Package noc models the crossbar interconnection network between SMs and
+// the banked L2 cache (Section II-A: "The SMs share access to the L2 cache
+// and DRAM through a crossbar interconnection network").
+//
+// The crossbar is modeled as a set of independently-queued L2 banks:
+// requests hash by address to a bank, each bank serves at an equal share of
+// the aggregate L2 bandwidth, and a hot bank queues while others idle. This
+// exposes bank-camping effects a single aggregate-bandwidth queue hides.
+package noc
+
+import (
+	"fmt"
+
+	"delta/internal/sim/dram"
+)
+
+// Crossbar routes requests to banked channels.
+type Crossbar struct {
+	banks     []*dram.Channel
+	bankShift uint // hash granularity: address >> shift selects the stripe
+}
+
+// NewCrossbar builds a crossbar with the given number of banks sharing
+// totalBytesPerClk of bandwidth. Addresses are striped across banks in
+// stripeBytes units (typically the 128 B line size).
+func NewCrossbar(banks int, totalBytesPerClk, latencyClk float64, stripeBytes int) (*Crossbar, error) {
+	if banks <= 0 {
+		return nil, fmt.Errorf("noc: banks must be positive, got %d", banks)
+	}
+	if stripeBytes <= 0 || stripeBytes&(stripeBytes-1) != 0 {
+		return nil, fmt.Errorf("noc: stripe %d must be a positive power of two", stripeBytes)
+	}
+	x := &Crossbar{banks: make([]*dram.Channel, banks)}
+	for s := stripeBytes; s > 1; s >>= 1 {
+		x.bankShift++
+	}
+	per := totalBytesPerClk / float64(banks)
+	for i := range x.banks {
+		ch, err := dram.NewChannel(per, latencyClk)
+		if err != nil {
+			return nil, err
+		}
+		x.banks[i] = ch
+	}
+	return x, nil
+}
+
+// Banks returns the bank count.
+func (x *Crossbar) Banks() int { return len(x.banks) }
+
+// bankFor selects the bank a byte address routes to.
+func (x *Crossbar) bankFor(addr int64) int {
+	b := (addr >> x.bankShift) % int64(len(x.banks))
+	if b < 0 {
+		b = -b
+	}
+	return int(b)
+}
+
+// Read enqueues a read of the given bytes at the bank owning addr and
+// returns the completion time.
+func (x *Crossbar) Read(now float64, addr int64, bytes float64) float64 {
+	return x.banks[x.bankFor(addr)].Read(now, bytes)
+}
+
+// ReadStriped spreads a large transfer across all banks (the behaviour of a
+// well-interleaved tile load) and returns the time the last stripe lands.
+func (x *Crossbar) ReadStriped(now float64, bytes float64) float64 {
+	per := bytes / float64(len(x.banks))
+	var last float64
+	for _, b := range x.banks {
+		if done := b.Read(now, per); done > last {
+			last = done
+		}
+	}
+	return last
+}
+
+// ReadHot sends the whole transfer to a single bank — the worst-case
+// camping pattern, used to bound interconnect sensitivity.
+func (x *Crossbar) ReadHot(now float64, bytes float64) float64 {
+	return x.banks[0].Read(now, bytes)
+}
+
+// Stats aggregates all banks' counters plus an imbalance measure.
+type Stats struct {
+	ReadBytes  float64
+	WriteBytes float64
+	Requests   uint64
+
+	// Imbalance is max-bank bytes over mean-bank bytes (1.0 = perfectly
+	// balanced).
+	Imbalance float64
+}
+
+// Stats returns aggregate crossbar counters.
+func (x *Crossbar) Stats() Stats {
+	var s Stats
+	var maxBytes float64
+	for _, b := range x.banks {
+		bs := b.Stats()
+		tot := bs.ReadBytes + bs.WriteBytes
+		s.ReadBytes += bs.ReadBytes
+		s.WriteBytes += bs.WriteBytes
+		s.Requests += bs.Requests
+		if tot > maxBytes {
+			maxBytes = tot
+		}
+	}
+	mean := (s.ReadBytes + s.WriteBytes) / float64(len(x.banks))
+	if mean > 0 {
+		s.Imbalance = maxBytes / mean
+	}
+	return s
+}
+
+// Reset clears every bank.
+func (x *Crossbar) Reset() {
+	for _, b := range x.banks {
+		b.Reset()
+	}
+}

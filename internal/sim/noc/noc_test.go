@@ -1,0 +1,103 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newXbar(t *testing.T, banks int) *Crossbar {
+	t.Helper()
+	x, err := NewCrossbar(banks, 640, 50, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestNewCrossbarValidation(t *testing.T) {
+	if _, err := NewCrossbar(0, 100, 10, 128); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := NewCrossbar(4, 100, 10, 100); err == nil {
+		t.Error("non-power-of-two stripe accepted")
+	}
+	if _, err := NewCrossbar(4, 0, 10, 128); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestAddressStriping(t *testing.T) {
+	x := newXbar(t, 4)
+	// Consecutive 128 B stripes round-robin the banks.
+	seen := map[int]bool{}
+	for i := int64(0); i < 4; i++ {
+		seen[x.bankFor(i*128)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("4 stripes hit %d banks, want 4", len(seen))
+	}
+	// Addresses within one stripe share a bank.
+	if x.bankFor(0) != x.bankFor(127) {
+		t.Error("same stripe split across banks")
+	}
+}
+
+func TestStripedBeatsHotBank(t *testing.T) {
+	// The same volume completes sooner striped across banks than camped on
+	// one: the effect a single aggregate queue cannot show.
+	striped := newXbar(t, 8)
+	hot := newXbar(t, 8)
+	vol := 64 * 1024.0
+	ts := striped.ReadStriped(0, vol)
+	th := hot.ReadHot(0, vol)
+	if ts >= th {
+		t.Errorf("striped %v not faster than hot-bank %v", ts, th)
+	}
+	// Hot bank serves at 1/8 the bandwidth: ~8x the transfer time.
+	if th < ts*4 {
+		t.Errorf("hot/striped = %v, want ~8x", th/ts)
+	}
+}
+
+func TestStatsAndImbalance(t *testing.T) {
+	x := newXbar(t, 4)
+	x.ReadStriped(0, 4096)
+	s := x.Stats()
+	if s.ReadBytes != 4096 {
+		t.Errorf("read bytes = %v", s.ReadBytes)
+	}
+	if s.Imbalance < 0.99 || s.Imbalance > 1.01 {
+		t.Errorf("striped imbalance = %v, want 1.0", s.Imbalance)
+	}
+	x.Reset()
+	x.ReadHot(0, 4096)
+	if got := x.Stats().Imbalance; got < 3.9 {
+		t.Errorf("hot-bank imbalance = %v, want ~4", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	x := newXbar(t, 2)
+	x.Read(0, 0, 128)
+	x.Reset()
+	if s := x.Stats(); s.Requests != 0 || s.ReadBytes != 0 {
+		t.Errorf("stats after reset: %+v", s)
+	}
+}
+
+// TestQuickBankSelectionStable: the same address always routes to the same
+// bank, and all banks are reachable.
+func TestQuickBankSelectionStable(t *testing.T) {
+	x, err := NewCrossbar(8, 640, 50, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addr uint32) bool {
+		a := int64(addr)
+		b := x.bankFor(a)
+		return b >= 0 && b < 8 && b == x.bankFor(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package trace generates the warp-level global-load address streams of the
+// blocked im2col GEMM: exactly the requests the cuDNN main loop issues for
+// its IFmap and filter tiles (Fig. 5), CTA by CTA, loop by loop.
+//
+// The generator is the simulator's ground truth: the analytical model's L1
+// and L2 equations are abstractions of these streams.
+package trace
+
+import (
+	"delta/internal/im2col"
+	"delta/internal/layers"
+	"delta/internal/tiling"
+)
+
+// Generator produces warp requests for one layer's GEMM.
+type Generator struct {
+	Layer layers.Conv
+	Grid  tiling.Grid
+
+	mat im2col.Matrix
+	fil im2col.FilterMatrix
+
+	// filterBase is the byte offset of the weight region, placed after the
+	// padded IFmap region so the two streams never alias.
+	filterBase int64
+
+	skipPad bool
+}
+
+// New builds a generator for the layer under the given grid. If skipPad is
+// true, loads that fall in the zero-padding halo are predicated off (the
+// paper's traffic accounting keeps them, so the engine defaults to false).
+func New(l layers.Conv, g tiling.Grid, skipPad bool) *Generator {
+	mat := im2col.New(l)
+	return &Generator{
+		Layer:      l,
+		Grid:       g,
+		mat:        mat,
+		fil:        im2col.NewFilter(l),
+		filterBase: mat.PaddedElems() * layers.ElemBytes,
+		skipPad:    skipPad,
+	}
+}
+
+// FilterBase returns the byte address where the weight region starts.
+func (g *Generator) FilterBase() int64 { return g.filterBase }
+
+// VisitFn receives one warp's byte addresses (up to 32; fewer at predicated
+// edges). The slice is reused across calls — consume, don't retain.
+type VisitFn func(addrs []int64)
+
+// IFmapLoop emits the warp requests loading the blkM x blkK IFmap tile of
+// CTA (ctaRow, _) for one main loop. Threads are arranged down the M
+// dimension, so each warp covers 32 consecutive rows of one matrix column —
+// the Fig. 5a access pattern.
+func (g *Generator) IFmapLoop(ctaRow, loop int, visit VisitFn) {
+	t := g.Grid.Tile
+	k0 := loop * t.BlkK
+	row0 := ctaRow * t.BlkM
+	var buf [tiling.WarpSize]int64
+
+	for dk := 0; dk < t.BlkK; dk++ {
+		k := k0 + dk
+		if k >= g.Grid.K {
+			break
+		}
+		for chunk := 0; chunk < t.BlkM; chunk += tiling.WarpSize {
+			n := 0
+			for i := 0; i < tiling.WarpSize; i++ {
+				row := row0 + chunk + i
+				if row >= g.Grid.M {
+					break
+				}
+				if g.skipPad && g.mat.IsPad(row, k) {
+					continue
+				}
+				buf[n] = g.mat.Address(row, k) * layers.ElemBytes
+				n++
+			}
+			if n > 0 {
+				visit(buf[:n])
+			}
+		}
+	}
+}
+
+// FilterLoop emits the warp requests loading the blkN x blkK filter tile of
+// CTA (_, ctaCol) for one main loop. Threads are arranged down the K
+// dimension, so each warp covers blkK consecutive K elements of 32/blkK
+// adjacent columns — the Fig. 5b/5c access pattern.
+func (g *Generator) FilterLoop(ctaCol, loop int, visit VisitFn) {
+	t := g.Grid.Tile
+	k0 := loop * t.BlkK
+	n0 := ctaCol * t.BlkN
+	colsPerWarp := tiling.WarpSize / t.BlkK
+	if colsPerWarp < 1 {
+		colsPerWarp = 1
+	}
+	var buf [tiling.WarpSize]int64
+
+	for group := 0; group < t.BlkN; group += colsPerWarp {
+		cnt := 0
+		for dc := 0; dc < colsPerWarp; dc++ {
+			n := n0 + group + dc
+			if n >= g.Grid.N {
+				break
+			}
+			for dk := 0; dk < t.BlkK; dk++ {
+				k := k0 + dk
+				if k >= g.Grid.K {
+					break
+				}
+				buf[cnt] = g.filterBase + g.fil.Address(k, n)*layers.ElemBytes
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			visit(buf[:cnt])
+		}
+	}
+}
+
+// Coalescer groups a warp's addresses into L1 requests and unique sectors.
+// A Coalescer is reusable and allocation-free after construction.
+type Coalescer struct {
+	reqBytes    int64
+	sectorBytes int64
+
+	sectors [tiling.WarpSize]int64
+	nSec    int
+}
+
+// NewCoalescer builds a coalescer for a device's L1 request and sector
+// granularities.
+func NewCoalescer(reqBytes, sectorBytes int) *Coalescer {
+	return &Coalescer{reqBytes: int64(reqBytes), sectorBytes: int64(sectorBytes)}
+}
+
+// Coalesce ingests one warp's byte addresses. It returns the number of L1
+// requests (unique request-granularity blocks) the warp generates; the
+// unique touched sectors are retrievable via Sectors until the next call.
+func (c *Coalescer) Coalesce(addrs []int64) (requests int) {
+	c.nSec = 0
+	for _, a := range addrs {
+		s := a / c.sectorBytes
+		found := false
+		// Addresses arrive nearly sorted; scan back-to-front for speed.
+		for i := c.nSec - 1; i >= 0; i-- {
+			if c.sectors[i] == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.sectors[c.nSec] = s
+			c.nSec++
+		}
+	}
+	// Requests = unique request-granularity blocks over the sector set.
+	ratio := c.reqBytes / c.sectorBytes
+	for i := 0; i < c.nSec; i++ {
+		r := c.sectors[i] / ratio
+		seen := false
+		for j := 0; j < i; j++ {
+			if c.sectors[j]/ratio == r {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			requests++
+		}
+	}
+	return requests
+}
+
+// Sectors returns the unique sector indices (address / sectorBytes) of the
+// last Coalesce call. The slice is invalidated by the next call.
+func (c *Coalescer) Sectors() []int64 { return c.sectors[:c.nSec] }
+
+// SectorBytes returns the sector granularity in bytes.
+func (c *Coalescer) SectorBytes() int64 { return c.sectorBytes }

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"testing"
+
+	"delta/internal/layers"
+	"delta/internal/tiling"
+)
+
+var fig5Like = layers.Conv{
+	Name: "t", B: 2, Ci: 4, Hi: 12, Wi: 12, Co: 48, Hf: 3, Wf: 3, Stride: 1, Pad: 1,
+}
+
+func newGen(t *testing.T, l layers.Conv, skipPad bool) *Generator {
+	t.Helper()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return New(l, tiling.NewGrid(l), skipPad)
+}
+
+func TestIFmapLoopCoversTile(t *testing.T) {
+	g := newGen(t, fig5Like, false)
+	tile := g.Grid.Tile
+	total := 0
+	warps := 0
+	g.IFmapLoop(0, 0, func(addrs []int64) {
+		warps++
+		total += len(addrs)
+		for _, a := range addrs {
+			if a < 0 || a >= g.FilterBase() {
+				t.Fatalf("IFmap address %d outside IFmap region [0,%d)", a, g.FilterBase())
+			}
+			if a%layers.ElemBytes != 0 {
+				t.Fatalf("unaligned element address %d", a)
+			}
+		}
+	})
+	// Full interior CTA: blkM x blkK elements in blkK * blkM/32 warps.
+	if want := tile.BlkM * tile.BlkK; total != want {
+		t.Errorf("tile elements = %d, want %d", total, want)
+	}
+	if want := tile.BlkK * tile.BlkM / tiling.WarpSize; warps != want {
+		t.Errorf("warp requests = %d, want %d", warps, want)
+	}
+}
+
+func TestIFmapLoopEdgePredication(t *testing.T) {
+	g := newGen(t, fig5Like, false)
+	lastRow := g.Grid.Rows - 1
+	total := 0
+	g.IFmapLoop(lastRow, 0, func(addrs []int64) { total += len(addrs) })
+	valid := g.Grid.M - lastRow*g.Grid.Tile.BlkM
+	if want := valid * g.Grid.Tile.BlkK; total != want {
+		t.Errorf("edge CTA elements = %d, want %d", total, want)
+	}
+}
+
+func TestIFmapWarpIsColumnSlice(t *testing.T) {
+	// Every warp request must stay within one matrix column: addresses
+	// strictly increasing (Fig. 5a pattern).
+	g := newGen(t, fig5Like, false)
+	g.IFmapLoop(0, 0, func(addrs []int64) {
+		for i := 1; i < len(addrs); i++ {
+			if addrs[i] <= addrs[i-1] {
+				t.Fatalf("warp addresses not increasing: %v", addrs)
+			}
+		}
+	})
+}
+
+func TestSkipPadDropsHaloLoads(t *testing.T) {
+	full := 0
+	newGen(t, fig5Like, false).IFmapLoop(0, 0, func(a []int64) { full += len(a) })
+	skipped := 0
+	newGen(t, fig5Like, true).IFmapLoop(0, 0, func(a []int64) { skipped += len(a) })
+	if skipped >= full {
+		t.Errorf("skipPad kept %d of %d loads; expected fewer", skipped, full)
+	}
+}
+
+func TestFilterLoopLayout(t *testing.T) {
+	g := newGen(t, fig5Like, false)
+	tile := g.Grid.Tile // Co=48 -> 128x64 tile, blkK=4 -> 8 columns per warp
+	total := 0
+	g.FilterLoop(0, 0, func(addrs []int64) {
+		total += len(addrs)
+		for _, a := range addrs {
+			if a < g.FilterBase() {
+				t.Fatalf("filter address %d below filter base %d", a, g.FilterBase())
+			}
+		}
+	})
+	// Edge: N=48 < blkN=64, K=36 >= blkK=4: 48 columns x 4 k-values.
+	if want := g.Grid.N * tile.BlkK; total != want {
+		t.Errorf("filter elements = %d, want %d", total, want)
+	}
+}
+
+func TestFilterWarpSegmentsContiguous(t *testing.T) {
+	// Within one warp, each blkK-run is contiguous (stride 4 B) and runs
+	// from different columns are K elements apart.
+	g := newGen(t, fig5Like, false)
+	blkK := g.Grid.Tile.BlkK
+	kBytes := int64(g.Grid.K) * layers.ElemBytes
+	g.FilterLoop(0, 0, func(addrs []int64) {
+		for i := 1; i < len(addrs); i++ {
+			d := addrs[i] - addrs[i-1]
+			if i%blkK == 0 {
+				if d != kBytes-int64(blkK-1)*layers.ElemBytes {
+					t.Fatalf("inter-column stride %d unexpected", d)
+				}
+			} else if d != layers.ElemBytes {
+				t.Fatalf("intra-column stride %d, want %d", d, layers.ElemBytes)
+			}
+		}
+	})
+}
+
+func TestCoalescerDenseWarp(t *testing.T) {
+	c := NewCoalescer(128, 32)
+	// 32 consecutive 4 B elements starting at 0: one 128 B request, 4 sectors.
+	addrs := make([]int64, 32)
+	for i := range addrs {
+		addrs[i] = int64(i * 4)
+	}
+	if reqs := c.Coalesce(addrs); reqs != 1 {
+		t.Errorf("dense aligned warp: %d requests, want 1", reqs)
+	}
+	if len(c.Sectors()) != 4 {
+		t.Errorf("sectors = %d, want 4", len(c.Sectors()))
+	}
+}
+
+func TestCoalescerMisalignedWarp(t *testing.T) {
+	c := NewCoalescer(128, 32)
+	// Same dense warp shifted by 64 B: spans two 128 B blocks.
+	addrs := make([]int64, 32)
+	for i := range addrs {
+		addrs[i] = int64(64 + i*4)
+	}
+	if reqs := c.Coalesce(addrs); reqs != 2 {
+		t.Errorf("misaligned warp: %d requests, want 2", reqs)
+	}
+	if len(c.Sectors()) != 4 {
+		t.Errorf("sectors = %d, want 4", len(c.Sectors()))
+	}
+}
+
+func TestCoalescerScatteredWarp(t *testing.T) {
+	c := NewCoalescer(128, 32)
+	// 32 elements 128 B apart: 32 requests, 32 sectors.
+	addrs := make([]int64, 32)
+	for i := range addrs {
+		addrs[i] = int64(i * 128)
+	}
+	if reqs := c.Coalesce(addrs); reqs != 32 {
+		t.Errorf("scattered warp: %d requests, want 32", reqs)
+	}
+	if len(c.Sectors()) != 32 {
+		t.Errorf("sectors = %d, want 32", len(c.Sectors()))
+	}
+}
+
+func TestCoalescer32BGranularity(t *testing.T) {
+	c := NewCoalescer(32, 32)
+	addrs := make([]int64, 32)
+	for i := range addrs {
+		addrs[i] = int64(i * 4)
+	}
+	// Volta-style 32 B requests: a dense warp needs 4.
+	if reqs := c.Coalesce(addrs); reqs != 4 {
+		t.Errorf("32B requests = %d, want 4", reqs)
+	}
+}
+
+func TestPointwiseFilterWarp(t *testing.T) {
+	// 1x1 conv, Co <= 32 -> 128x32 tile with blkK=4.
+	l := layers.Conv{Name: "pw", B: 4, Ci: 64, Hi: 14, Wi: 14, Co: 24, Hf: 1, Wf: 1, Stride: 1}
+	g := newGen(t, l, false)
+	if g.Grid.Tile.BlkN != 32 || g.Grid.Tile.BlkK != 4 {
+		t.Fatalf("tile = %v", g.Grid.Tile)
+	}
+	total := 0
+	g.FilterLoop(0, 0, func(addrs []int64) { total += len(addrs) })
+	if want := 24 * 4; total != want {
+		t.Errorf("filter elements = %d, want %d", total, want)
+	}
+}

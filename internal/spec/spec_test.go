@@ -1,0 +1,124 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"delta/internal/cnn"
+)
+
+const goodLayers = `[
+  {"name": "conv1", "ci": 3, "hi": 224, "co": 64, "hf": 7, "stride": 2, "pad": 3},
+  {"name": "block", "b": 32, "ci": 64, "hi": 56, "wi": 56, "co": 64, "hf": 3, "wf": 3, "pad": 1, "count": 4}
+]`
+
+func TestReadNetwork(t *testing.T) {
+	net, err := ReadNetwork("custom", strings.NewReader(goodLayers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Layers) != 2 {
+		t.Fatalf("layers = %d", len(net.Layers))
+	}
+	// Defaults: B = 256, Wi = Hi, Wf = Hf, stride = 1, count = 1.
+	l0 := net.Layers[0]
+	if l0.B != cnn.DefaultBatch || l0.Wi != 224 || l0.Wf != 7 {
+		t.Errorf("defaults not applied: %+v", l0)
+	}
+	if net.Counts[0] != 1 || net.Counts[1] != 4 {
+		t.Errorf("counts = %v", net.Counts)
+	}
+	if net.Layers[1].B != 32 || net.Layers[1].Stride != 1 {
+		t.Errorf("explicit fields lost: %+v", net.Layers[1])
+	}
+	if net.TotalInstances() != 5 {
+		t.Errorf("instances = %d", net.TotalInstances())
+	}
+}
+
+func TestReadNetworkRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty list":    `[]`,
+		"invalid layer": `[{"name": "x", "ci": 0, "hi": 8, "co": 4, "hf": 1}]`,
+		"unknown field": `[{"name": "x", "bogus": 1}]`,
+		"bad json":      `{`,
+		"neg count":     `[{"name": "x", "ci": 1, "hi": 8, "co": 1, "hf": 1, "count": -2}]`,
+	}
+	for what, in := range cases {
+		if _, err := ReadNetwork("t", strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}
+
+func TestReadNetworkNamesDefault(t *testing.T) {
+	net, err := ReadNetwork("t", strings.NewReader(`[{"ci": 4, "hi": 8, "co": 8, "hf": 3, "pad": 1}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Layers[0].Name != "layer0" {
+		t.Errorf("default name = %q", net.Layers[0].Name)
+	}
+}
+
+func TestReadDevice(t *testing.T) {
+	in := `{"base": "P100", "name": "P100-plus", "num_sm": 64, "dram_bw_gbs": 700}`
+	d, err := ReadDevice(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "P100-plus" || d.NumSM != 64 || d.DRAMBWGBs != 700 {
+		t.Errorf("overrides lost: %+v", d)
+	}
+	// Unset fields inherit from P100.
+	if d.L2BWGBs != 1382 || d.SMEMKBPerSM != 64 {
+		t.Errorf("inheritance broken: %+v", d)
+	}
+}
+
+func TestReadDeviceDefaultsToTitanXp(t *testing.T) {
+	d, err := ReadDevice(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "TITAN Xp" || d.NumSM != 30 {
+		t.Errorf("default base wrong: %+v", d)
+	}
+}
+
+func TestReadDeviceRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown base":  `{"base": "K80"}`,
+		"unknown field": `{"bogus": 1}`,
+		"invalid value": `{"num_sm": -1}`,
+		"bad json":      `{`,
+	}
+	for what, in := range cases {
+		if _, err := ReadDevice(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := cnn.GoogLeNet(64)
+	var buf strings.Builder
+	if err := WriteNetwork(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetwork(orig.Name, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Layers) != len(orig.Layers) {
+		t.Fatalf("round trip lost layers: %d vs %d", len(back.Layers), len(orig.Layers))
+	}
+	for i := range orig.Layers {
+		if back.Layers[i] != orig.Layers[i] {
+			t.Errorf("layer %d changed:\n got %+v\nwant %+v", i, back.Layers[i], orig.Layers[i])
+		}
+		if back.Counts[i] != orig.Counts[i] {
+			t.Errorf("count %d changed", i)
+		}
+	}
+}
