@@ -10,12 +10,15 @@ package delta
 // artifacts recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"delta/internal/experiments"
+	"delta/internal/explore"
 	"delta/internal/gpu"
 	"delta/internal/perf"
+	"delta/internal/pipeline"
 	"delta/internal/tiling"
 	"delta/internal/traffic"
 )
@@ -147,6 +150,62 @@ func BenchmarkSimulatorSmallLayer(b *testing.B) {
 func BenchmarkCTATileSelect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = tiling.Select(i % 512)
+	}
+}
+
+// --- Serial vs. pipeline design-space exploration ---
+//
+// The paper frames DeLTA as fast enough to drive whole design-space
+// optimizations; these two benchmarks measure that claim's hot path — the
+// default-axes grid (96 candidates) over full ResNet152 — serially and
+// through the concurrent pipeline. The pipeline run uses a fresh evaluator
+// with the cache disabled so the comparison isolates the worker-pool
+// fan-out; on >= 4 cores the pipeline run should be >= 2x faster.
+
+func exploreWorkloadAndScales() (explore.Workload, []gpu.Scale, explore.CostModel) {
+	return explore.Workload{Net: ResNet152Full(256)},
+		explore.DefaultAxes().Enumerate(),
+		explore.DefaultCostModel()
+}
+
+// BenchmarkExploreSerial measures the serial explore.Evaluate sweep.
+func BenchmarkExploreSerial(b *testing.B) {
+	w, scales, cm := exploreWorkloadAndScales()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cands, err := explore.Evaluate(w, gpu.TitanXp(), scales, cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(cands)), "candidates")
+	}
+}
+
+// BenchmarkExplorePipeline measures the same sweep through the concurrent
+// pipeline (cacheless, so every candidate is really computed).
+func BenchmarkExplorePipeline(b *testing.B) {
+	w, scales, cm := exploreWorkloadAndScales()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pipeline.New(pipeline.WithoutCache())
+		cands, err := p.Explore(context.Background(), w, gpu.TitanXp(), scales, cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(cands)), "candidates")
+	}
+}
+
+// BenchmarkExplorePipelineCached measures the steady-state serving shape:
+// a warm shared evaluator answering repeated sweeps from the memo cache.
+func BenchmarkExplorePipelineCached(b *testing.B) {
+	w, scales, cm := exploreWorkloadAndScales()
+	p := pipeline.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Explore(context.Background(), w, gpu.TitanXp(), scales, cm); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

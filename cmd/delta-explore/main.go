@@ -3,17 +3,21 @@
 // candidate with a silicon cost model, and reports the Pareto frontier of
 // (hardware cost, predicted speedup) for a CNN workload — the design-space
 // exploration the paper's conclusion frames as a convex optimization.
+// Candidates fan out across all cores through the shared pipeline; Ctrl-C
+// cancels a sweep cleanly.
 //
 // Examples:
 //
 //	delta-explore -net resnet152 -target 4.0
-//	delta-explore -net vgg16 -gpu V100
+//	delta-explore -net vgg16 -gpu V100 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"delta"
 	"delta/internal/report"
@@ -22,31 +26,33 @@ import (
 func main() {
 	var (
 		gpuName = flag.String("gpu", "TITAN Xp", "baseline device")
-		netName = flag.String("net", "resnet152", "workload: alexnet, vgg16, googlenet, resnet152")
+		netName = flag.String("net", "resnet152", "workload: alexnet, vgg16, googlenet, resnet50, resnet152 (full instances)")
 		batch   = flag.Int("b", 256, "mini-batch size")
 		target  = flag.Float64("target", 0, "report the cheapest design hitting this speedup (0 = skip)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	base, err := delta.DeviceByName(*gpuName)
 	if err != nil {
 		fatal(err)
 	}
-	var net delta.Network
-	switch *netName {
-	case "alexnet":
-		net = delta.AlexNet(*batch)
-	case "vgg16":
-		net = delta.VGG16(*batch)
-	case "googlenet":
-		net = delta.GoogLeNet(*batch)
-	case "resnet152":
-		net = delta.ResNet152Full(*batch)
-	default:
-		fatal(fmt.Errorf("unknown network %q", *netName))
+	name := *netName
+	if name == "resnet152" {
+		// The scaling study runs every conv instance of the real network.
+		name = "resnet152full"
+	}
+	net, err := delta.NetworkByName(name, *batch)
+	if err != nil {
+		fatal(err)
 	}
 
-	cands, err := delta.Explore(net, base, delta.DefaultExploreAxes(), delta.DefaultCostModel())
+	p := delta.NewPipeline(delta.WithPipelineWorkers(*workers))
+	cands, err := p.Explore(ctx, delta.ExploreWorkload{Net: net},
+		base, delta.DefaultExploreAxes().Enumerate(), delta.DefaultCostModel())
 	if err != nil {
 		fatal(err)
 	}

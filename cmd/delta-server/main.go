@@ -1,0 +1,72 @@
+// Command delta-server exposes the DeLTA evaluation pipeline as an HTTP
+// JSON API — the serving layer for driving the model from other services,
+// notebooks, or dashboards. All requests share one concurrent, memoizing
+// pipeline, so repeated layers and grid re-evaluations are computed once.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness + cache counters
+//	GET  /v1/devices   resolvable device names
+//	GET  /v1/networks  registered network names
+//	POST /v1/estimate  evaluate a JSON layer list (internal/spec format)
+//	POST /v1/network   evaluate a registered network by name
+//	POST /v1/explore   price + evaluate a design-space grid
+//
+// Example:
+//
+//	delta-server -addr :8080 &
+//	curl -s localhost:8080/v1/network -d '{"network": "resnet152", "device": "V100"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"delta"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	p := delta.NewPipeline(delta.WithPipelineWorkers(*workers))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(p),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("delta-server listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "delta-server:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("delta-server: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "delta-server: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// HTTP handlers: a thin JSON codec layer over the shared evaluation
+// pipeline, reusing internal/spec for layer-list and device payloads.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"delta"
+	"delta/internal/spec"
+)
+
+// maxBodyBytes bounds request bodies; layer lists are small.
+const maxBodyBytes = 1 << 20
+
+// server routes requests into one shared pipeline, so concurrent clients
+// share the worker pool and the memo cache.
+type server struct {
+	p *delta.Pipeline
+}
+
+// newServer returns the delta-server HTTP handler.
+func newServer(p *delta.Pipeline) http.Handler {
+	s := &server{p: p}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/devices", s.handleDevices)
+	mux.HandleFunc("/v1/networks", s.handleNetworks)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/network", s.handleNetwork)
+	mux.HandleFunc("/v1/explore", s.handleExplore)
+	return mux
+}
+
+// estimateRequest is the JSON shape of /v1/estimate and /v1/network.
+// Layers reuses the internal/spec layer-list codec verbatim; DeviceSpec
+// the spec device codec (inheriting unset fields from a base device).
+type estimateRequest struct {
+	// Network names a registered CNN (/v1/network); Layers carries an
+	// explicit spec layer list (/v1/estimate).
+	Network string          `json:"network,omitempty"`
+	Batch   int             `json:"batch,omitempty"`
+	Layers  json.RawMessage `json:"layers,omitempty"`
+
+	Device     string          `json:"device,omitempty"`
+	DeviceSpec json.RawMessage `json:"device_spec,omitempty"`
+
+	Model    string         `json:"model,omitempty"`
+	Pass     string         `json:"pass,omitempty"`
+	MissRate float64        `json:"miss_rate,omitempty"`
+	Options  trafficOptions `json:"options,omitempty"`
+}
+
+// trafficOptions mirrors delta.TrafficOptions for JSON.
+type trafficOptions struct {
+	PaperMLIFilter    bool `json:"paper_mli_filter,omitempty"`
+	CapacityAwareDRAM bool `json:"capacity_aware_dram,omitempty"`
+	TileOverride      int  `json:"tile_override,omitempty"`
+}
+
+func (o trafficOptions) toModel() delta.TrafficOptions {
+	return delta.TrafficOptions{
+		PaperMLIFilter:    o.PaperMLIFilter,
+		CapacityAwareDRAM: o.CapacityAwareDRAM,
+		TileOverride:      o.TileOverride,
+	}
+}
+
+// layerResponse is one per-layer prediction row.
+type layerResponse struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	Seconds float64 `json:"seconds"`
+
+	// Inference (delta/prior) fields.
+	Cycles      float64 `json:"cycles,omitempty"`
+	Bottleneck  string  `json:"bottleneck,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+	L1Bytes     float64 `json:"l1_bytes,omitempty"`
+	L2Bytes     float64 `json:"l2_bytes,omitempty"`
+	DRAMBytes   float64 `json:"dram_bytes,omitempty"`
+
+	// Training-pass breakdown.
+	FpropSeconds float64 `json:"fprop_seconds,omitempty"`
+	DgradSeconds float64 `json:"dgrad_seconds,omitempty"`
+	WgradSeconds float64 `json:"wgrad_seconds,omitempty"`
+
+	// Roofline fields.
+	Bound     string  `json:"bound,omitempty"`
+	Intensity float64 `json:"intensity,omitempty"`
+}
+
+// estimateResponse is the JSON answer of /v1/estimate and /v1/network.
+type estimateResponse struct {
+	Network      string          `json:"network"`
+	Device       string          `json:"device"`
+	Model        string          `json:"model"`
+	Pass         string          `json:"pass"`
+	Layers       []layerResponse `json:"layers"`
+	TotalSeconds float64         `json:"total_seconds"`
+	Bottlenecks  map[string]int  `json:"bottlenecks,omitempty"`
+}
+
+// exploreRequest is the JSON shape of /v1/explore.
+type exploreRequest struct {
+	estimateRequest
+
+	// Axes overrides the default exploration grid; empty axes mean "1x".
+	Axes *exploreAxes `json:"axes,omitempty"`
+
+	// Target asks for the cheapest candidate reaching this speedup.
+	Target float64 `json:"target,omitempty"`
+}
+
+type exploreAxes struct {
+	NumSM    []float64 `json:"num_sm,omitempty"`
+	MACPerSM []float64 `json:"mac_per_sm,omitempty"`
+	MemBW    []float64 `json:"mem_bw,omitempty"`
+	SMLocal  []float64 `json:"sm_local,omitempty"`
+}
+
+// candidateResponse is one priced design point.
+type candidateResponse struct {
+	NumSM      float64 `json:"num_sm"`
+	MACPerSM   float64 `json:"mac_per_sm"`
+	MemBW      float64 `json:"mem_bw"`
+	SMLocal    float64 `json:"sm_local"`
+	Cost       float64 `json:"cost"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+type exploreResponse struct {
+	Network    string              `json:"network"`
+	Device     string              `json:"device"`
+	Candidates []candidateResponse `json:"candidates"`
+	Pareto     []candidateResponse `json:"pareto"`
+	Cheapest   *candidateResponse  `json:"cheapest,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeBody strictly parses a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// resolveDevice picks the request's device: an inline spec wins over a
+// registry name; the default is the TITAN Xp baseline.
+func resolveDevice(req estimateRequest) (delta.GPU, error) {
+	if len(req.DeviceSpec) > 0 {
+		return spec.ReadDevice(bytes.NewReader(req.DeviceSpec))
+	}
+	if req.Device != "" {
+		return delta.DeviceByName(req.Device)
+	}
+	return delta.TitanXp(), nil
+}
+
+// resolveNetwork picks the request's workload: an inline spec layer list or
+// a registered network name.
+func resolveNetwork(req estimateRequest) (delta.Network, error) {
+	switch {
+	case len(req.Layers) > 0 && req.Network != "":
+		return delta.Network{}, errors.New("specify either layers or network, not both")
+	case len(req.Layers) > 0:
+		return spec.ReadNetwork("request", bytes.NewReader(req.Layers))
+	case req.Network != "":
+		return delta.NetworkByName(req.Network, req.Batch)
+	default:
+		return delta.Network{}, errors.New("missing layers or network")
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	stats := s.p.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"cache_hits":   stats.Hits,
+		"cache_misses": stats.Misses,
+	})
+}
+
+func (s *server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"devices": delta.DeviceNames()})
+}
+
+func (s *server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"networks": delta.NetworkNames()})
+}
+
+// handleEstimate answers POST /v1/estimate: an explicit spec layer list.
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.estimate(w, r, false)
+}
+
+// handleNetwork answers POST /v1/network: a registered network by name.
+func (s *server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	s.estimate(w, r, true)
+}
+
+func (s *server) estimate(w http.ResponseWriter, r *http.Request, named bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req estimateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		return
+	}
+	if named && req.Network == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing network name"))
+		return
+	}
+	if !named && len(req.Layers) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing layers"))
+		return
+	}
+	dev, err := resolveDevice(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	net, err := resolveNetwork(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	nr, err := s.p.Network(r.Context(), delta.NetworkEvalRequest{
+		Net: net, Device: dev, Options: req.Options.toModel(),
+		Model: delta.EvalModel(req.Model), Pass: delta.EvalPass(req.Pass),
+		MissRate: req.MissRate,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	resp := estimateResponse{
+		Network: net.Name, Device: dev.Name,
+		Model: string(nr.Model), Pass: string(nr.Pass),
+		TotalSeconds: nr.Seconds,
+	}
+	for i, res := range nr.Results {
+		row := layerResponse{Name: res.Layer.Name, Count: net.Counts[i], Seconds: res.Seconds}
+		switch {
+		case res.Pass == delta.PassTraining:
+			row.FpropSeconds = res.Training.Fprop.Seconds
+			if !res.Training.SkipDgrad {
+				row.DgradSeconds = res.Training.Dgrad.Seconds
+			}
+			row.WgradSeconds = res.Training.Wgrad.Seconds
+			row.Bottleneck = res.Training.Fprop.Bottleneck.String()
+		case res.Model == delta.ModelRoofline:
+			row.Bound = res.Roofline.Bound.String()
+			row.Intensity = res.Roofline.Intensity
+		default:
+			row.Cycles = res.Perf.Cycles
+			row.Bottleneck = res.Perf.Bottleneck.String()
+			row.Utilization = res.Perf.Utilization
+			row.L1Bytes = res.Traffic.L1Bytes
+			row.L2Bytes = res.Traffic.L2Bytes
+			row.DRAMBytes = res.Traffic.DRAMBytes
+		}
+		resp.Layers = append(resp.Layers, row)
+	}
+	if nr.Bottlenecks != nil {
+		resp.Bottlenecks = make(map[string]int, len(nr.Bottlenecks))
+		for b, c := range nr.Bottlenecks {
+			resp.Bottlenecks[b.String()] = c
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExplore answers POST /v1/explore: a priced design-space sweep.
+func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req exploreRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		return
+	}
+	// The sweep always runs the delta model's inference pass; reject the
+	// estimateRequest fields it would otherwise silently ignore.
+	if req.Model != "" || req.Pass != "" || req.MissRate != 0 {
+		writeError(w, http.StatusBadRequest,
+			errors.New("explore always runs delta-model inference; model, pass, and miss_rate are not supported"))
+		return
+	}
+	dev, err := resolveDevice(req.estimateRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	net, err := resolveNetwork(req.estimateRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	axes := delta.DefaultExploreAxes()
+	if req.Axes != nil {
+		axes = delta.ExploreAxes{
+			NumSM: req.Axes.NumSM, MACPerSM: req.Axes.MACPerSM,
+			MemBW: req.Axes.MemBW, SMLocal: req.Axes.SMLocal,
+		}
+	}
+	cands, err := s.p.Explore(r.Context(),
+		delta.ExploreWorkload{Net: net, Opt: req.Options.toModel()},
+		dev, axes.Enumerate(), delta.DefaultCostModel())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	toResp := func(cs []delta.ExploreCandidate) []candidateResponse {
+		out := make([]candidateResponse, len(cs))
+		for i, c := range cs {
+			out[i] = candidateResponse{
+				NumSM: orOne(c.Scale.NumSM), MACPerSM: orOne(c.Scale.MACPerSM),
+				MemBW: orOne(c.Scale.DRAMBW), SMLocal: orOne(c.Scale.RegPerSM),
+				Cost: c.Cost, Speedup: c.Speedup, Efficiency: c.Efficiency(),
+			}
+		}
+		return out
+	}
+	resp := exploreResponse{
+		Network: net.Name, Device: dev.Name,
+		Candidates: toResp(cands),
+		Pareto:     toResp(delta.ParetoFront(cands)),
+	}
+	if req.Target > 0 {
+		if best, ok := delta.CheapestAtLeast(cands, req.Target); ok {
+			c := toResp([]delta.ExploreCandidate{best})[0]
+			resp.Cheapest = &c
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps evaluation failures: client-side cancellations surface as
+// request timeouts, everything else is a bad request (the model rejects
+// inputs, it does not fail internally).
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusRequestTimeout
+	}
+	return http.StatusBadRequest
+}
+
+func orOne(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return x
+}

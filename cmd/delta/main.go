@@ -1,17 +1,21 @@
 // Command delta predicts the memory traffic, execution time, and bottleneck
 // of a convolution layer (or a whole CNN) on a modeled GPU using the DeLTA
-// analytical model.
+// analytical model. Evaluation goes through the shared concurrent pipeline,
+// so whole networks fan out across every core.
 //
 // Examples:
 //
 //	delta -gpu "TITAN Xp" -b 256 -ci 256 -hw 13 -co 384 -f 3 -s 1 -p 1
 //	delta -gpu V100 -net resnet152
+//	delta -net vgg16 -model prior -missrate 1.0
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"delta"
 	"delta/internal/report"
@@ -21,7 +25,7 @@ import (
 func main() {
 	var (
 		gpuName  = flag.String("gpu", "TITAN Xp", "device: 'TITAN Xp', 'P100', or 'V100'")
-		netName  = flag.String("net", "", "predict a whole network: alexnet, vgg16, googlenet, resnet50, resnet152")
+		netName  = flag.String("net", "", "predict a whole network: alexnet, vgg16, googlenet, resnet50, resnet152, resnet152full")
 		layersIn = flag.String("layers", "", "JSON layer-list file to model instead of -net (see internal/spec)")
 		devIn    = flag.String("device", "", "JSON device file overriding -gpu (see internal/spec)")
 		batch    = flag.Int("b", 256, "mini-batch size")
@@ -33,8 +37,13 @@ func main() {
 		pad      = flag.Int("p", 1, "zero padding")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		train    = flag.Bool("train", false, "model the full training step (fprop + dgrad + wgrad)")
+		model    = flag.String("model", "delta", "model variant: delta, prior, roofline")
+		missRate = flag.Float64("missrate", 1.0, "fixed miss rate for -model prior")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	dev, err := delta.DeviceByName(*gpuName)
 	if err != nil {
@@ -64,19 +73,9 @@ func main() {
 			fatal(err)
 		}
 	} else if *netName != "" {
-		switch *netName {
-		case "alexnet":
-			net = delta.AlexNet(*batch)
-		case "vgg16":
-			net = delta.VGG16(*batch)
-		case "googlenet":
-			net = delta.GoogLeNet(*batch)
-		case "resnet50":
-			net = delta.ResNet50(*batch)
-		case "resnet152":
-			net = delta.ResNet152(*batch)
-		default:
-			fatal(fmt.Errorf("unknown network %q", *netName))
+		net, err = delta.NetworkByName(*netName, *batch)
+		if err != nil {
+			fatal(err)
 		}
 	} else {
 		l := delta.Conv{Name: "layer", B: *batch, Ci: *ci, Hi: *hw, Wi: *hw,
@@ -85,27 +84,34 @@ func main() {
 	}
 
 	if *train {
-		renderTraining(net, dev, *batch, *csv)
+		if *model != "delta" {
+			fatal(fmt.Errorf("-train models the delta training step; it cannot combine with -model %s", *model))
+		}
+		renderTraining(ctx, net, dev, *batch, *csv)
 		return
 	}
 
+	nr, err := delta.DefaultPipeline().Network(ctx, delta.NetworkEvalRequest{
+		Net: net, Device: dev,
+		Model: delta.EvalModel(*model), MissRate: *missRate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	t := report.NewTable(
-		fmt.Sprintf("DeLTA predictions, %s on %s (B=%d)", net.Name, dev.Name, *batch),
+		fmt.Sprintf("%s predictions, %s on %s (B=%d)", nr.Model, net.Name, dev.Name, *batch),
 		"layer", "L1", "L2", "DRAM", "ms", "bottleneck", "MAC util")
 	var totalMs float64
-	for _, l := range net.Layers {
-		est, err := delta.EstimateTraffic(l, dev, delta.TrafficOptions{})
-		if err != nil {
-			fatal(err)
+	for _, r := range nr.Results {
+		totalMs += r.Seconds * 1e3
+		if r.Model == delta.ModelRoofline {
+			t.AddRow(r.Layer.Name, "-", "-", "-", r.Seconds*1e3, r.Roofline.Bound.String(), "-")
+			continue
 		}
-		res, err := delta.EstimatePerformance(est, dev)
-		if err != nil {
-			fatal(err)
-		}
-		totalMs += res.Seconds * 1e3
-		t.AddRow(l.Name,
-			report.Bytes(est.L1Bytes), report.Bytes(est.L2Bytes), report.Bytes(est.DRAMBytes),
-			res.Seconds*1e3, res.Bottleneck.String(), report.Pct(res.Utilization))
+		t.AddRow(r.Layer.Name,
+			report.Bytes(r.Traffic.L1Bytes), report.Bytes(r.Traffic.L2Bytes), report.Bytes(r.Traffic.DRAMBytes),
+			r.Seconds*1e3, r.Perf.Bottleneck.String(), report.Pct(r.Perf.Utilization))
 	}
 	t.AddRow("== total", "", "", "", totalMs, "", "")
 
@@ -121,8 +127,8 @@ func main() {
 
 // renderTraining prints the training-step breakdown: forward, data-gradient
 // and weight-gradient times per layer with their bottlenecks.
-func renderTraining(net delta.Network, dev delta.GPU, batch int, csv bool) {
-	steps, total, err := delta.EstimateNetworkTraining(net, dev, delta.TrafficOptions{})
+func renderTraining(ctx context.Context, net delta.Network, dev delta.GPU, batch int, csv bool) {
+	steps, total, err := delta.DefaultPipeline().Training(ctx, net, dev, delta.TrafficOptions{})
 	if err != nil {
 		fatal(err)
 	}

@@ -28,6 +28,8 @@
 package delta
 
 import (
+	"context"
+
 	"delta/internal/backprop"
 	"delta/internal/cnn"
 	"delta/internal/explore"
@@ -35,6 +37,7 @@ import (
 	"delta/internal/layers"
 	"delta/internal/microbench"
 	"delta/internal/perf"
+	"delta/internal/pipeline"
 	"delta/internal/prior"
 	"delta/internal/roofline"
 	"delta/internal/sim/engine"
@@ -117,8 +120,25 @@ func V100() GPU { return gpu.V100() }
 // Devices returns all Table I devices.
 func Devices() []GPU { return gpu.All() }
 
-// DeviceByName looks a device up by its Table I name.
+// DeviceByName looks a device up by name: the Table I devices (with
+// forgiving spelling, e.g. "titanxp") plus anything added via
+// RegisterDevice.
 func DeviceByName(name string) (GPU, error) { return gpu.ByName(name) }
+
+// RegisterDevice adds a device to the by-name registry so later
+// DeviceByName lookups (CLI flags, server requests) resolve it.
+func RegisterDevice(d GPU) error { return gpu.Register(d) }
+
+// DeviceNames returns every resolvable device name.
+func DeviceNames() []string { return gpu.Names() }
+
+// NetworkByName builds a registered network ("alexnet", "vgg16",
+// "googlenet", "resnet50", "resnet152", "resnet152full") at mini-batch b
+// (0 means DefaultBatch).
+func NetworkByName(name string, b int) (Network, error) { return cnn.ByName(name, b) }
+
+// NetworkNames returns the registered network names.
+func NetworkNames() []string { return cnn.Names() }
 
 // DesignOptions returns the nine Fig. 16a scaling-study design options.
 func DesignOptions() []DesignOption { return gpu.DesignOptions() }
@@ -141,9 +161,23 @@ func Estimate(l Conv, d GPU, opt TrafficOptions) (PerfResult, error) {
 	return perf.ModelLayer(l, d, opt)
 }
 
-// EstimateAll evaluates a layer list, failing fast on the first error.
+// EstimateAll evaluates a layer list through the shared pipeline: layers
+// fan out across the worker pool and repeated configurations are served
+// from the memo cache. Results are identical to the serial path.
 func EstimateAll(ls []Conv, d GPU, opt TrafficOptions) ([]PerfResult, error) {
-	return perf.ModelAll(ls, d, opt)
+	reqs := make([]EvalRequest, len(ls))
+	for i, l := range ls {
+		reqs[i] = EvalRequest{Layer: l, Device: d, Options: opt}
+	}
+	rs, err := DefaultPipeline().EvaluateAll(context.Background(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PerfResult, len(rs))
+	for i, r := range rs {
+		out[i] = r.Perf
+	}
+	return out, nil
 }
 
 // NetworkTime sums layer times weighted by instance counts (nil = all 1).
@@ -230,9 +264,10 @@ func EstimateTrainingStep(l Conv, d GPU, opt TrafficOptions, skipDgrad bool) (Tr
 	return backprop.ModelStep(l, d, opt, skipDgrad)
 }
 
-// EstimateNetworkTraining models a whole network's training-step time.
+// EstimateNetworkTraining models a whole network's training-step time,
+// evaluating layers concurrently through the shared pipeline.
 func EstimateNetworkTraining(n Network, d GPU, opt TrafficOptions) ([]TrainingStep, float64, error) {
-	return backprop.NetworkStep(n.Layers, n.Counts, d, opt)
+	return DefaultPipeline().Training(context.Background(), n, d, opt)
 }
 
 // Design-space exploration (see internal/explore): cost-priced resource
@@ -246,6 +281,10 @@ type (
 
 	// CostModel prices scaled devices relative to the baseline.
 	CostModel = explore.CostModel
+
+	// ExploreWorkload is the network (plus traffic options) whose
+	// predicted time drives an exploration.
+	ExploreWorkload = explore.Workload
 )
 
 // DefaultCostModel returns a coarse Pascal-class silicon cost split.
@@ -255,8 +294,11 @@ func DefaultCostModel() CostModel { return explore.DefaultCostModel() }
 func DefaultExploreAxes() ExploreAxes { return explore.DefaultAxes() }
 
 // Explore prices and evaluates every scale in the grid on the workload.
+// The (candidates x layers) grid fans out across the shared pipeline's
+// worker pool; candidates are identical to the serial evaluation.
 func Explore(n Network, base GPU, axes ExploreAxes, cm CostModel) ([]ExploreCandidate, error) {
-	return explore.Evaluate(explore.Workload{Net: n}, base, axes.Enumerate(), cm)
+	return DefaultPipeline().Explore(context.Background(),
+		explore.Workload{Net: n}, base, axes.Enumerate(), cm)
 }
 
 // ParetoFront extracts the undominated (cost, speedup) candidates.
@@ -277,3 +319,59 @@ type RooflineResult = roofline.Result
 // Roofline evaluates the classical roofline model for one layer: the larger
 // of the arithmetic time and the compulsory-traffic memory time.
 func Roofline(l Conv, d GPU) (RooflineResult, error) { return roofline.Model(l, d) }
+
+// Unified evaluation pipeline (see internal/pipeline): the concurrent
+// Request/Result path every batch consumer — EstimateAll, Explore,
+// EstimateNetworkTraining, the CLIs, and cmd/delta-server — goes through.
+type (
+	// Pipeline is a concurrent, memoizing evaluator of model requests.
+	Pipeline = pipeline.Evaluator
+
+	// PipelineOption configures NewPipeline.
+	PipelineOption = pipeline.Option
+
+	// EvalRequest names one layer evaluation: layer, device, model
+	// variant (delta | prior | roofline), and pass (inference | training).
+	EvalRequest = pipeline.Request
+
+	// EvalResult is the unified answer to an EvalRequest.
+	EvalResult = pipeline.Result
+
+	// NetworkEvalRequest names a whole-network evaluation.
+	NetworkEvalRequest = pipeline.NetworkRequest
+
+	// NetworkEvalResult aggregates per-layer results with the
+	// count-weighted network time and bottleneck histogram.
+	NetworkEvalResult = pipeline.NetworkResult
+
+	// EvalModel selects the analytical model variant of an EvalRequest.
+	EvalModel = pipeline.Model
+
+	// EvalPass selects forward-only or full training-step evaluation.
+	EvalPass = pipeline.Pass
+)
+
+// Pipeline model and pass selectors.
+const (
+	ModelDelta    = pipeline.ModelDelta
+	ModelPrior    = pipeline.ModelPrior
+	ModelRoofline = pipeline.ModelRoofline
+
+	PassInference = pipeline.PassInference
+	PassTraining  = pipeline.PassTraining
+)
+
+// NewPipeline constructs a private evaluation pipeline. Most callers can
+// use DefaultPipeline; construct your own to bound the worker pool
+// (WithPipelineWorkers) or disable memoization (WithoutPipelineCache).
+func NewPipeline(opts ...PipelineOption) *Pipeline { return pipeline.New(opts...) }
+
+// DefaultPipeline returns the process-wide shared pipeline, so independent
+// callers share one memo cache.
+func DefaultPipeline() *Pipeline { return pipeline.Default() }
+
+// WithPipelineWorkers caps a new pipeline's worker pool.
+func WithPipelineWorkers(n int) PipelineOption { return pipeline.WithWorkers(n) }
+
+// WithoutPipelineCache disables a new pipeline's memo cache.
+func WithoutPipelineCache() PipelineOption { return pipeline.WithoutCache() }

@@ -1,10 +1,11 @@
 // Bottleneck analysis: run the DeLTA performance model over every unique
-// conv layer of the four paper CNNs on all three GPUs and report which
-// resource limits each network — the Fig. 13/14 analysis as a library user
-// would consume it.
+// conv layer of the four paper CNNs on all three GPUs through the unified
+// pipeline and report which resource limits each network — the Fig. 13/14
+// analysis as a library user would consume it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,31 +13,33 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	p := delta.DefaultPipeline()
 	for _, dev := range delta.Devices() {
 		fmt.Printf("=== %s ===\n", dev.Name)
 		for _, net := range delta.PaperSuite(delta.DefaultBatch) {
-			rs, err := delta.EstimateAll(net.Layers, dev, delta.TrafficOptions{})
+			// The paper's unique-subset figures weight every layer once.
+			net.Counts = nil
+			nr, err := p.Network(ctx, delta.NetworkEvalRequest{Net: net, Device: dev})
 			if err != nil {
 				log.Fatal(err)
 			}
-			hist := delta.BottleneckHistogram(rs, nil)
-			total := delta.NetworkTime(rs, nil)
 
 			// Slowest layer and its limiter.
-			worst := rs[0]
-			for _, r := range rs {
+			worst := nr.Results[0]
+			for _, r := range nr.Results {
 				if r.Seconds > worst.Seconds {
 					worst = r
 				}
 			}
 
-			fmt.Printf("%-10s  %7.1f ms over %2d unique layers;", net.Name, total*1e3, len(rs))
-			macBound := hist[delta.MACBW]
-			fmt.Printf("  %d/%d MAC-bound;", macBound, len(rs))
+			fmt.Printf("%-10s  %7.1f ms over %2d unique layers;", net.Name, nr.Seconds*1e3, len(nr.Results))
+			macBound := nr.Bottlenecks[delta.MACBW]
+			fmt.Printf("  %d/%d MAC-bound;", macBound, len(nr.Results))
 			fmt.Printf("  slowest %s (%.1f ms, %s)\n",
-				worst.Layer.Name, worst.Seconds*1e3, worst.Bottleneck)
+				worst.Layer.Name, worst.Seconds*1e3, worst.Perf.Bottleneck)
 
-			for b, c := range hist {
+			for b, c := range nr.Bottlenecks {
 				if b != delta.MACBW && c > 0 {
 					fmt.Printf("             %2d layer(s) limited by %s\n", c, b)
 				}

@@ -1,9 +1,11 @@
 // Quickstart: model one convolution layer on a TITAN Xp — traffic at every
 // memory level, predicted execution time, and the bottleneck resource —
-// then cross-check the traffic against the trace-driven simulator.
+// through the unified evaluation pipeline, then cross-check the traffic
+// against the trace-driven simulator.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +22,14 @@ func main() {
 	}
 	dev := delta.TitanXp()
 
-	// 1. Traffic model (Section IV): bytes moved at each hierarchy level.
-	est, err := delta.EstimateTraffic(layer, dev, delta.TrafficOptions{})
+	// 1. One pipeline request answers with the Section IV traffic estimate
+	// and the Section V performance prediction together.
+	res, err := delta.DefaultPipeline().Evaluate(context.Background(),
+		delta.EvalRequest{Layer: layer, Device: dev})
 	if err != nil {
 		log.Fatal(err)
 	}
+	est := res.Traffic
 	fmt.Printf("%s on %s\n", layer, dev.Name)
 	fmt.Printf("  GEMM tile       %s, %d CTAs, %d main loops\n",
 		est.Grid.Tile, est.Grid.NumCTA(), est.Grid.MainLoops())
@@ -34,16 +39,20 @@ func main() {
 		est.L2Bytes/(1<<20), est.MissRateL1()*100)
 	fmt.Printf("  DRAM traffic    %10.1f MiB  (L2 miss rate %.1f%%)\n",
 		est.DRAMBytes/(1<<20), est.MissRateL2()*100)
-
-	// 2. Performance model (Section V): execution time and bottleneck.
-	res, err := delta.EstimatePerformance(est, dev)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("  execution time  %10.3f ms  (%.1f Mcycles)\n",
-		res.Seconds*1e3, res.Cycles/1e6)
+		res.Seconds*1e3, res.Perf.Cycles/1e6)
 	fmt.Printf("  bottleneck      %s, MAC utilization %.0f%%\n",
-		res.Bottleneck, res.Utilization*100)
+		res.Perf.Bottleneck, res.Perf.Utilization*100)
+
+	// 2. The baselines DeLTA is compared against, through the same API.
+	for _, model := range []delta.EvalModel{delta.ModelPrior, delta.ModelRoofline} {
+		b, err := delta.DefaultPipeline().Evaluate(context.Background(),
+			delta.EvalRequest{Layer: layer, Device: dev, Model: model})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s model  %10.3f ms\n", model, b.Seconds*1e3)
+	}
 
 	// 3. Cross-check the model against the simulator at a reduced batch
 	// (traffic is batch-linear; the ratio is what matters).

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,12 +13,14 @@ import (
 )
 
 func evalNet(net delta.Network, dev delta.GPU, tileDim int) (float64, map[delta.Bottleneck]int) {
-	opt := delta.TrafficOptions{TileOverride: tileDim}
-	rs, err := delta.EstimateAll(net.Layers, dev, opt)
+	nr, err := delta.DefaultPipeline().Network(context.Background(), delta.NetworkEvalRequest{
+		Net: net, Device: dev,
+		Options: delta.TrafficOptions{TileOverride: tileDim},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	return delta.NetworkTime(rs, net.Counts), delta.BottleneckHistogram(rs, net.Counts)
+	return nr.Seconds, nr.Bottlenecks
 }
 
 func main() {

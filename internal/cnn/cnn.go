@@ -8,7 +8,14 @@
 // conv instance of the real network for the Fig. 16 scaling study.
 package cnn
 
-import "delta/internal/layers"
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"delta/internal/layers"
+	"delta/internal/naming"
+)
 
 // DefaultBatch is the mini-batch size used throughout the paper's
 // evaluation (Section VI).
@@ -260,6 +267,43 @@ func ResNet50(b int) Network {
 // the order every evaluation figure plots them.
 func PaperSuite(b int) []Network {
 	return []Network{AlexNet(b), VGG16(b), GoogLeNet(b), ResNet152(b)}
+}
+
+// builders is the string-keyed network registry. Keys are canonicalized by
+// normalizeName, so "ResNet-152" and "resnet152" resolve the same entry.
+var builders = map[string]func(int) Network{
+	"alexnet":       AlexNet,
+	"vgg16":         VGG16,
+	"googlenet":     GoogLeNet,
+	"resnet50":      ResNet50,
+	"resnet152":     ResNet152,
+	"resnet152full": ResNet152Full,
+}
+
+// Names returns the registered network names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName builds the named network at mini-batch b (0 means DefaultBatch).
+func ByName(name string, b int) (Network, error) {
+	if b == 0 {
+		b = DefaultBatch
+	}
+	if b < 0 {
+		return Network{}, fmt.Errorf("cnn: negative mini-batch %d", b)
+	}
+	build, ok := builders[naming.Normalize(name)]
+	if !ok {
+		return Network{}, fmt.Errorf("cnn: unknown network %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return build(b), nil
 }
 
 // AllUniqueLayers flattens the paper suite into one labeled layer list with

@@ -5,12 +5,13 @@ package experiments
 // design-space search. They run after the paper artifacts in `-run all`.
 
 import (
+	"context"
 	"fmt"
 
-	"delta/internal/backprop"
 	"delta/internal/cnn"
 	"delta/internal/explore"
 	"delta/internal/gpu"
+	"delta/internal/pipeline"
 	"delta/internal/report"
 	"delta/internal/traffic"
 )
@@ -31,7 +32,7 @@ func extTrain(cfg Config) ([]*report.Table, error) {
 	summary := report.NewTable("Training vs forward time per network (TITAN Xp, DeLTA predictions)",
 		"network", "forward ms", "training-step ms", "bwd/fwd")
 	for _, net := range nets {
-		steps, total, err := backprop.NetworkStep(net.Layers, net.Counts, d, traffic.Options{})
+		steps, total, err := pipeline.Default().Training(context.Background(), net, d, traffic.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +69,8 @@ func extExplore(cfg Config) ([]*report.Table, error) {
 	if cfg.Quick {
 		axes = explore.Axes{MACPerSM: []float64{1, 2}, MemBW: []float64{1, 2}}
 	}
-	cands, err := explore.Evaluate(w, gpu.TitanXp(), axes.Enumerate(), explore.DefaultCostModel())
+	cands, err := pipeline.Default().Explore(context.Background(),
+		w, gpu.TitanXp(), axes.Enumerate(), explore.DefaultCostModel())
 	if err != nil {
 		return nil, err
 	}

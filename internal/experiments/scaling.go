@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"delta/internal/cnn"
 	"delta/internal/gpu"
 	"delta/internal/perf"
+	"delta/internal/pipeline"
 	"delta/internal/report"
 	"delta/internal/traffic"
 )
@@ -15,14 +17,16 @@ func init() {
 }
 
 // resnetTime evaluates the full ResNet152 forward time and bottleneck
-// distribution on one device, with an optional CTA-tile override.
+// distribution on one device, with an optional CTA-tile override. Layers
+// run concurrently through the shared pipeline.
 func resnetTime(net cnn.Network, d gpu.Device, tileDim int) (float64, map[perf.Bottleneck]int, error) {
-	opt := traffic.Options{TileOverride: tileDim}
-	rs, err := perf.ModelAll(net.Layers, d, opt)
+	nr, err := pipeline.Default().Network(context.Background(), pipeline.NetworkRequest{
+		Net: net, Device: d, Options: traffic.Options{TileOverride: tileDim},
+	})
 	if err != nil {
 		return 0, nil, err
 	}
-	return perf.NetworkTime(rs, net.Counts), perf.BottleneckHistogram(rs, net.Counts), nil
+	return nr.Seconds, nr.Bottlenecks, nil
 }
 
 // fig16 reproduces the scaling study: the nine design options of Fig. 16a

@@ -10,6 +10,10 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+
+	"delta/internal/naming"
 )
 
 // Device is a parameterized GPU. The zero value is not usable; construct
@@ -214,12 +218,63 @@ func V100() Device {
 // All returns the three devices the paper evaluates, in Table I order.
 func All() []Device { return []Device{TitanXp(), P100(), V100()} }
 
-// ByName returns the named device (case-sensitive Table I name) or an error.
-func ByName(name string) (Device, error) {
+// registered holds devices added at runtime with Register, keyed by
+// normalized name. Built-in Table I devices always win a lookup.
+var (
+	regMu      sync.RWMutex
+	registered = map[string]Device{}
+)
+
+// Register adds a device to the by-name registry (e.g. a hypothetical GPU
+// loaded from a spec file that later lookups should resolve). The device
+// must validate and must not shadow a built-in Table I name.
+func Register(d Device) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	key := naming.Normalize(d.Name)
+	for _, b := range All() {
+		if naming.Normalize(b.Name) == key {
+			return fmt.Errorf("gpu: cannot shadow built-in device %q", b.Name)
+		}
+	}
+	regMu.Lock()
+	registered[key] = d
+	regMu.Unlock()
+	return nil
+}
+
+// Names returns the resolvable device names: Table I order first, then
+// registered devices sorted by name.
+func Names() []string {
+	var out []string
 	for _, d := range All() {
-		if d.Name == name {
+		out = append(out, d.Name)
+	}
+	regMu.RLock()
+	extra := make([]string, 0, len(registered))
+	for _, d := range registered {
+		extra = append(extra, d.Name)
+	}
+	regMu.RUnlock()
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// ByName returns the named device — a Table I device (exact or normalized
+// name) or one previously added with Register — or an error.
+func ByName(name string) (Device, error) {
+	key := naming.Normalize(name)
+	for _, d := range All() {
+		if d.Name == name || naming.Normalize(d.Name) == key {
 			return d, nil
 		}
+	}
+	regMu.RLock()
+	d, ok := registered[key]
+	regMu.RUnlock()
+	if ok {
+		return d, nil
 	}
 	return Device{}, fmt.Errorf("gpu: unknown device %q", name)
 }

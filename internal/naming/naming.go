@@ -1,0 +1,22 @@
+// Package naming canonicalizes the string keys of the device and network
+// registries, so CLI and HTTP spellings like "TITAN-Xp", "titan xp", or
+// "resnet152_full" all resolve the same entry.
+package naming
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lower-cases a registry name and strips separator characters.
+func Normalize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch r {
+		case ' ', '-', '_', '/':
+			continue
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
+}

@@ -179,15 +179,19 @@ func Model(e traffic.Estimate, d gpu.Device) (Result, error) {
 }
 
 // epilogueAtBottleneck returns Eq. 15's bottleneck variant: the epilogue
-// write time charged against the saturated memory level.
+// write time charged against the saturated memory level. Like the per-loop
+// terms it is per-CTA work charged against the SM's fair share of the
+// level's bandwidth (the whole path is later multiplied by CTAs per SM);
+// mixing whole-chip bandwidth in here made the Eq. 18 path drop
+// discontinuously when rising traffic moved the bottleneck from L1 to L2.
 func (r Result) epilogueAtBottleneck(d gpu.Device, epiBytes float64) float64 {
 	switch {
 	case r.TL1BW >= r.TL2BW && r.TL1BW >= r.TDRAMBW:
 		return epiBytes / d.L1BytesPerClkPerSM()
 	case r.TL2BW >= r.TDRAMBW:
-		return epiBytes / d.L2BytesPerClk()
+		return epiBytes / d.L2BytesPerClkPerSM()
 	default:
-		return epiBytes / d.DRAMBytesPerClk()
+		return epiBytes / d.DRAMBytesPerClkPerSM()
 	}
 }
 

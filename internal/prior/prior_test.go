@@ -91,6 +91,39 @@ func TestMissRatesSweep(t *testing.T) {
 	}
 }
 
+// TestMissRateMonotoneDense is the deterministic regression sweep for the
+// Eq. 18 epilogue discontinuity: the per-CTA epilogue used to be charged
+// against whole-chip L2/DRAM bandwidth but per-SM L1 bandwidth, so raising
+// mr past the L1->L2 bottleneck crossover made predictions DROP by up to
+// ~45% on low-Ci layers. Higher modeled traffic must never predict faster.
+func TestMissRateMonotoneDense(t *testing.T) {
+	for ci := 1; ci <= 256; ci += 17 {
+		for hw := 7; hw <= 56; hw += 7 {
+			for co := 16; co <= 256; co += 24 {
+				l := layers.Conv{
+					Name: "m", B: 32, Ci: ci, Hi: hw, Wi: hw, Co: co,
+					Hf: 3, Wf: 3, Stride: 1, Pad: 1,
+				}
+				if l.Validate() != nil {
+					continue
+				}
+				prev, prevMr := -1.0, 0.0
+				for mr := 0.05; mr <= 1.0001; mr += 0.05 {
+					r, err := Model(l, xp, mr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if prev > 0 && r.Cycles < prev*0.9999999 {
+						t.Fatalf("ci=%d hw=%d co=%d: mr %.2f->%.2f predicted cycles dropped %.0f->%.0f",
+							ci, hw, co, prevMr, mr, prev, r.Cycles)
+					}
+					prev, prevMr = r.Cycles, mr
+				}
+			}
+		}
+	}
+}
+
 func TestQuickMissRateMonotone(t *testing.T) {
 	// Higher miss rate -> more modeled traffic -> never faster.
 	f := func(ci, hw, co uint8, mrSeed uint8) bool {
