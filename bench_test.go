@@ -14,6 +14,7 @@ import (
 	"math"
 	"testing"
 
+	"delta/internal/benchkit"
 	"delta/internal/experiments"
 	"delta/internal/explore"
 	"delta/internal/gpu"
@@ -209,11 +210,35 @@ func BenchmarkExplorePipelineCached(b *testing.B) {
 	}
 }
 
+// --- Serial vs. parallel trace-driven simulation ---
+//
+// The two benchmark pairs behind BENCH_sim.json (see cmd/delta-bench,
+// which runs the same benchkit bodies). On one core the parallel runs
+// degrade gracefully to the serial path; on >= 4 cores the suite pair
+// should show >= 3x.
+
+// BenchmarkSimEngineSerial measures the serial reference engine on one
+// mid-size layer.
+func BenchmarkSimEngineSerial(b *testing.B) { benchkit.EngineRun(b, 1) }
+
+// BenchmarkSimEngineParallel measures the deterministic two-phase parallel
+// engine (GOMAXPROCS workers) on the same layer.
+func BenchmarkSimEngineParallel(b *testing.B) { benchkit.EngineRun(b, 0) }
+
+// BenchmarkSimSuiteSerial simulates the Fig. 4 corpus layer by layer on
+// one goroutine — the pre-pipeline experiment-driver shape.
+func BenchmarkSimSuiteSerial(b *testing.B) { benchkit.SuiteSerial(b) }
+
+// BenchmarkSimSuiteParallel fans the same corpus across the pipeline
+// worker pool (cacheless, so every layer really simulates).
+func BenchmarkSimSuiteParallel(b *testing.B) { benchkit.SuiteParallel(b) }
+
 // --- Ablation benches (DESIGN.md §4 design choices) ---
 
 // ablationDRAMRatio evaluates the whole paper suite under a traffic-model
 // variant and reports the geomean model/simulator DRAM ratio, so ablations
-// are directly comparable.
+// are directly comparable. The per-layer simulations fan out across a
+// cacheless pipeline so every iteration really simulates.
 func ablationDRAMRatio(b *testing.B, opt traffic.Options, skipPad bool) {
 	b.ReportAllocs()
 	d := gpu.TitanXp()
@@ -222,18 +247,20 @@ func ablationDRAMRatio(b *testing.B, opt traffic.Options, skipPad bool) {
 		{Name: "b", B: 2, Ci: 64, Hi: 56, Wi: 56, Co: 256, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
 		{Name: "c", B: 2, Ci: 512, Hi: 14, Wi: 14, Co: 128, Hf: 1, Wf: 1, Stride: 1},
 	}
+	p := NewPipeline(WithoutPipelineCache())
 	for i := 0; i < b.N; i++ {
+		sims, err := p.SimulateLayers(context.Background(), ls,
+			SimConfig{Device: d, SkipPadding: skipPad})
+		if err != nil {
+			b.Fatal(err)
+		}
 		prod := 1.0
-		for _, l := range ls {
+		for li, l := range ls {
 			m, err := traffic.Model(l, d, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
-			s, err := Simulate(l, SimConfig{Device: d, SkipPadding: skipPad})
-			if err != nil {
-				b.Fatal(err)
-			}
-			prod *= m.DRAMBytes / s.DRAMBytes
+			prod *= m.DRAMBytes / sims[li].DRAMBytes
 		}
 		b.ReportMetric(math.Pow(prod, 1.0/float64(len(ls))), "geomean-DRAM-ratio")
 	}

@@ -1,0 +1,110 @@
+// Command delta-bench records the repository's simulator performance
+// baseline: it runs the canonical serial-vs-parallel benchmark pairs (the
+// same benchkit bodies `go test -bench 'BenchmarkSim'` runs) through
+// testing.Benchmark and writes the results — ns/op, allocs/op, and the
+// serial-vs-parallel speedups — as a JSON trajectory artifact.
+//
+// Usage:
+//
+//	delta-bench [-o BENCH_sim.json]
+//
+// The artifact is committed at the repo root as the recorded baseline and
+// regenerated per-PR by the non-blocking CI benchmark job, so perf
+// regressions in the simulator hot paths are visible in review. Compare
+// two checkouts with `go test -bench 'BenchmarkSim' -count 10` piped
+// through benchstat for statistically grounded deltas.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"delta/internal/benchkit"
+)
+
+// entry is one benchmark's recorded measurements.
+type entry struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Iterations  int                `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// baseline is the BENCH_sim.json document.
+type baseline struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	SuiteSize  int    `json:"suite_layers"`
+
+	// Benchmarks maps the four BenchmarkSim* names (without the prefix)
+	// to their measurements.
+	Benchmarks map[string]entry `json:"benchmarks"`
+
+	// Speedup holds serial-ns / parallel-ns per pair. On a single-core
+	// host the parallel engine degrades gracefully to the serial path, so
+	// ~1.0 is expected there; the >= 3x target applies at >= 4 cores.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+func measure(f func(b *testing.B)) entry {
+	r := testing.Benchmark(f)
+	return entry{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+		Metrics:     r.Extra,
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output path for the benchmark trajectory")
+	flag.Parse()
+
+	doc := baseline{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SuiteSize:  len(benchkit.SuiteLayers()),
+		Benchmarks: map[string]entry{},
+		Speedup:    map[string]float64{},
+	}
+
+	run := func(name string, f func(b *testing.B)) entry {
+		fmt.Fprintf(os.Stderr, "delta-bench: running %s...\n", name)
+		e := measure(f)
+		doc.Benchmarks[name] = e
+		return e
+	}
+	engSerial := run("EngineSerial", func(b *testing.B) { benchkit.EngineRun(b, 1) })
+	engPar := run("EngineParallel", func(b *testing.B) { benchkit.EngineRun(b, 0) })
+	suiteSerial := run("SuiteSerial", benchkit.SuiteSerial)
+	suitePar := run("SuiteParallel", benchkit.SuiteParallel)
+
+	doc.Speedup["engine_parallel_vs_serial"] = engSerial.NsPerOp / engPar.NsPerOp
+	doc.Speedup["suite_parallel_vs_serial"] = suiteSerial.NsPerOp / suitePar.NsPerOp
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("delta-bench: wrote %s (engine %.2fx, suite %.2fx at GOMAXPROCS=%d)\n",
+		*out, doc.Speedup["engine_parallel_vs_serial"],
+		doc.Speedup["suite_parallel_vs_serial"], doc.GOMAXPROCS)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "delta-bench:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"delta"
 	"delta/internal/report"
@@ -28,6 +29,10 @@ func main() {
 		pad     = flag.Int("p", 1, "zero padding")
 		skipPad = flag.Bool("skippad", false, "predicate off zero-padding loads")
 		timing  = flag.Bool("timing", false, "also run the event-driven timing simulator")
+		workers = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = serial reference engine)")
+		rowMaj  = flag.Bool("rowmajor", false, "row-major CTA scheduling ablation (paper assumes column-wise)")
+		maxWav  = flag.Int("maxwaves", 0, "truncate after N CTA waves (0 = simulate everything; counters are not scaled)")
+		verify  = flag.Bool("verify", false, "also run the serial reference engine and check the parallel result is bit-identical")
 	)
 	flag.Parse()
 
@@ -37,14 +42,37 @@ func main() {
 	}
 	l := delta.Conv{Name: "layer", B: *batch, Ci: *ci, Hi: *hw, Wi: *hw,
 		Co: *co, Hf: *f, Wf: *f, Stride: *stride, Pad: *pad}
+	cfg := delta.SimConfig{Device: dev, SkipPadding: *skipPad,
+		RowMajorScheduling: *rowMaj, MaxWaves: *maxWav, Workers: *workers}
 
 	est, err := delta.EstimateTraffic(l, dev, delta.TrafficOptions{})
 	if err != nil {
 		fatal(err)
 	}
-	sim, err := delta.Simulate(l, delta.SimConfig{Device: dev, SkipPadding: *skipPad})
+	sim, err := delta.Simulate(l, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *verify {
+		eff := *workers
+		if eff < 1 {
+			eff = runtime.GOMAXPROCS(0)
+		}
+		if eff <= 1 {
+			fmt.Println("verify: skipped — the engine resolved to the serial reference path" +
+				" (use -workers >= 2 to exercise the parallel engine)")
+		} else {
+			ref := cfg
+			ref.Workers = 1
+			serial, err := delta.Simulate(l, ref)
+			if err != nil {
+				fatal(err)
+			}
+			if serial != sim {
+				fatal(fmt.Errorf("parallel engine diverged from serial reference:\n%+v\n%+v", sim, serial))
+			}
+			fmt.Println("verify: parallel engine bit-identical to serial reference")
+		}
 	}
 
 	t := report.NewTable(

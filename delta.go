@@ -199,9 +199,30 @@ func PriorEstimate(l Conv, d GPU, missRate float64) (PerfResult, error) {
 // Simulators.
 
 // Simulate runs the trace-driven memory-hierarchy simulator — the stand-in
-// for the paper's nvprof traffic measurements.
+// for the paper's nvprof traffic measurements. By default the engine fans
+// per-SM L1 simulation across GOMAXPROCS workers and replays L1 misses
+// through the shared L2 in serial order, so counters are bit-identical to
+// the serial reference engine (SimConfig.Workers = 1) at any width.
 func Simulate(l Conv, cfg SimConfig) (SimResult, error) {
 	return engine.Run(l, cfg)
+}
+
+// SimRequest names one trace-driven simulation for SimulateAll: a layer
+// under an engine configuration.
+type SimRequest = pipeline.SimRequest
+
+// SimulateAll runs a batch of simulations through the shared pipeline:
+// per-layer runs fan out across the worker pool and repeated (layer,
+// device, config) simulations are served from the memo cache. Results are
+// index-aligned with the requests and bit-identical to serial engine runs.
+func SimulateAll(reqs []SimRequest) ([]SimResult, error) {
+	return DefaultPipeline().SimulateAll(context.Background(), reqs)
+}
+
+// SimulateLayers simulates each layer under one shared config through the
+// shared pipeline — the common experiment-driver shape.
+func SimulateLayers(ls []Conv, cfg SimConfig) ([]SimResult, error) {
+	return DefaultPipeline().SimulateLayers(context.Background(), ls, cfg)
 }
 
 // SimulateTiming runs the event-driven execution-time simulator on a

@@ -53,6 +53,43 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeSimulateAll: the pipelined batch simulation path returns
+// results bit-identical to direct Simulate calls, for both the SimRequest
+// and the shared-config layer-list shapes.
+func TestFacadeSimulateAll(t *testing.T) {
+	d := TitanXp()
+	ls := []Conv{
+		{Name: "s1", B: 2, Ci: 32, Hi: 14, Wi: 14, Co: 64, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+		{Name: "s2", B: 2, Ci: 64, Hi: 14, Wi: 14, Co: 32, Hf: 1, Wf: 1, Stride: 1},
+	}
+	cfg := SimConfig{Device: d}
+	want := make([]SimResult, len(ls))
+	for i, l := range ls {
+		r, err := Simulate(l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	batch, err := SimulateLayers(ls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]SimRequest, len(ls))
+	for i, l := range ls {
+		reqs[i] = SimRequest{Layer: l, Config: cfg}
+	}
+	batch2, err := SimulateAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ls {
+		if batch[i] != want[i] || batch2[i] != want[i] {
+			t.Errorf("layer %s: batch simulation differs from direct Simulate", ls[i].Name)
+		}
+	}
+}
+
 func TestFacadeNetworksAndDevices(t *testing.T) {
 	if len(Devices()) != 3 {
 		t.Error("Devices() != 3")

@@ -1,0 +1,90 @@
+// Package benchkit hosts the canonical serial-vs-parallel simulator
+// benchmark bodies, shared by the `go test -bench` harness (bench_test.go)
+// and the benchmark-trajectory tool (cmd/delta-bench) so both measure
+// exactly the same workloads. The pairs establish the repo's recorded perf
+// baseline (BENCH_sim.json):
+//
+//   - Engine pair: one mid-size layer through the serial reference engine
+//     vs the two-phase parallel engine — the intra-layer speedup.
+//   - Suite pair: a whole network's layers simulated back to back serially
+//     vs fanned across the pipeline worker pool — the experiment-driver
+//     speedup (Fig. 4/11/12/17/20 and the ablations all have this shape).
+package benchkit
+
+import (
+	"context"
+	"testing"
+
+	"delta/internal/cnn"
+	"delta/internal/gpu"
+	"delta/internal/layers"
+	"delta/internal/pipeline"
+	"delta/internal/sim/engine"
+)
+
+// EngineLayer is the single-layer workload of the engine-level pair: a
+// mid-size GoogLeNet-class layer, heavy enough that the wave phases
+// dominate per-run setup, small enough for -benchtime runs.
+var EngineLayer = layers.Conv{
+	Name: "bench", B: 4, Ci: 192, Hi: 28, Wi: 28, Co: 96, Hf: 3, Wf: 3, Stride: 1, Pad: 1,
+}
+
+// SuiteBatch is the mini-batch of the suite-level pair (the experiment
+// drivers' simulation batch).
+const SuiteBatch = 2
+
+// SuiteLayers returns the multi-layer workload of the suite-level pair:
+// GoogLeNet's unique conv layers at SuiteBatch, the Fig. 4 corpus.
+func SuiteLayers() []layers.Conv {
+	return cnn.GoogLeNet(SuiteBatch).Layers
+}
+
+// EngineRun is the body of the engine-level pair: one simulation of
+// EngineLayer at the given worker count (1 = serial reference, 0 =
+// GOMAXPROCS parallel).
+func EngineRun(b *testing.B, workers int) {
+	b.ReportAllocs()
+	d := gpu.TitanXp()
+	var sectors uint64
+	for i := 0; i < b.N; i++ {
+		r, err := engine.Run(EngineLayer, engine.Config{Device: d, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sectors += r.L1Stats.SectorAccesses
+	}
+	b.ReportMetric(float64(sectors)/float64(b.Elapsed().Nanoseconds())*1e3, "Msectors/s")
+}
+
+// SuiteSerial is the body of the suite-level serial baseline: every layer
+// simulated back to back on one goroutine (the pre-pipeline experiment
+// driver shape).
+func SuiteSerial(b *testing.B) {
+	b.ReportAllocs()
+	d := gpu.TitanXp()
+	ls := SuiteLayers()
+	for i := 0; i < b.N; i++ {
+		for _, l := range ls {
+			if _, err := engine.Run(l, engine.Config{Device: d, Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(SuiteLayers())), "layers")
+}
+
+// SuiteParallel is the body of the suite-level parallel run: the same
+// layers fanned across a cacheless pipeline (every layer really simulates,
+// isolating the worker-pool fan-out).
+func SuiteParallel(b *testing.B) {
+	b.ReportAllocs()
+	cfg := engine.Config{Device: gpu.TitanXp()}
+	ls := SuiteLayers()
+	p := pipeline.New(pipeline.WithoutCache())
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SimulateLayers(context.Background(), ls, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ls)), "layers")
+}

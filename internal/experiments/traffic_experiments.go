@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"delta/internal/cnn"
 	"delta/internal/gpu"
 	"delta/internal/layers"
+	"delta/internal/pipeline"
 	"delta/internal/prior"
 	"delta/internal/report"
 	"delta/internal/sim/engine"
@@ -31,18 +33,35 @@ type trafficPair struct {
 }
 
 func runTrafficPairs(ls []layers.Conv, d gpu.Device, batch int) ([]trafficPair, error) {
-	out := make([]trafficPair, 0, len(ls))
-	for _, l := range ls {
-		l = l.WithBatch(batch)
-		m, err := traffic.Model(l, d, traffic.Options{})
-		if err != nil {
-			return nil, err
-		}
-		s, err := engine.Run(l, engine.Config{Device: d})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, trafficPair{name: l.Name, model: m, sim: s})
+	withB := make([]layers.Conv, len(ls))
+	for i, l := range ls {
+		withB[i] = l.WithBatch(batch)
+	}
+	return pairLayers(withB, d)
+}
+
+// pairLayers evaluates the analytical model and the trace-driven simulator
+// for every layer through the shared pipeline: per-layer simulations fan
+// out across the worker pool, and repeated (layer, device, config) runs —
+// common across figures — are served from the memo cache.
+func pairLayers(ls []layers.Conv, d gpu.Device) ([]trafficPair, error) {
+	p := pipeline.Default()
+	ctx := context.Background()
+	ereqs := make([]pipeline.Request, len(ls))
+	for i, l := range ls {
+		ereqs[i] = pipeline.Request{Layer: l, Device: d}
+	}
+	ests, err := p.EvaluateAll(ctx, ereqs)
+	if err != nil {
+		return nil, err
+	}
+	sims, err := p.SimulateLayers(ctx, ls, engine.Config{Device: d})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trafficPair, len(ls))
+	for i := range ls {
+		out[i] = trafficPair{name: ls[i].Name, model: ests[i].Traffic, sim: sims[i]}
 	}
 	return out, nil
 }
@@ -58,13 +77,14 @@ func fig4(cfg Config) ([]*report.Table, error) {
 	}
 	t := report.NewTable("Fig. 4 — GoogLeNet conv-layer cache miss rates (simulated, TITAN Xp geometry)",
 		"layer", "L1 miss rate", "L2 miss rate")
+	rs, err := pipeline.Default().SimulateLayers(context.Background(), ls,
+		engine.Config{Device: gpu.TitanXp()})
+	if err != nil {
+		return nil, err
+	}
 	var l1s, l2s []float64
-	for _, l := range ls {
-		r, err := engine.Run(l, engine.Config{Device: gpu.TitanXp()})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(l.Name, report.Pct(r.MissRateL1()), report.Pct(r.MissRateL2()))
+	for i, r := range rs {
+		t.AddRow(ls[i].Name, report.Pct(r.MissRateL1()), report.Pct(r.MissRateL2()))
 		l1s = append(l1s, r.MissRateL1())
 		l2s = append(l2s, r.MissRateL2())
 	}
@@ -165,18 +185,16 @@ func fig17(cfg Config) ([]*report.Table, error) {
 
 	sweep := func(title string, ls []layers.Conv) (*report.Table, error) {
 		t := report.NewTable(title, "point", "L1 ratio", "L2 ratio", "DRAM ratio")
+		pairs, err := pairLayers(ls, d)
+		if err != nil {
+			return nil, err
+		}
 		var r1, r2, rd []float64
-		for _, l := range ls {
-			m, err := traffic.Model(l, d, traffic.Options{})
-			if err != nil {
-				return nil, err
-			}
-			s, err := engine.Run(l, engine.Config{Device: d})
-			if err != nil {
-				return nil, err
-			}
-			a, b, c := m.L1Bytes/s.L1Bytes, m.L2Bytes/s.L2Bytes, m.DRAMBytes/s.DRAMBytes
-			t.AddRow(l.Name, a, b, c)
+		for _, p := range pairs {
+			a := p.model.L1Bytes / p.sim.L1Bytes
+			b := p.model.L2Bytes / p.sim.L2Bytes
+			c := p.model.DRAMBytes / p.sim.DRAMBytes
+			t.AddRow(p.name, a, b, c)
 			r1, r2, rd = append(r1, a), append(r2, b), append(rd, c)
 		}
 		addRatioSummary(t, "L1", r1)

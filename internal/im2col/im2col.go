@@ -90,8 +90,97 @@ func (mt Matrix) PaddedElems() int64 {
 // of matrix column col. It is the access pattern of one warp loading a slice
 // of an IFmap-matrix column (Fig. 5a) and is the simulator's hot path.
 func (mt Matrix) ColumnAddresses(col, row0 int, dst []int64) {
+	it := mt.ColumnIter(col, row0)
 	for i := range dst {
-		dst[i] = mt.Address(row0+i, col)
+		dst[i] = it.Addr()
+		it.Advance()
+	}
+}
+
+// ColumnIter walks one im2col-matrix column down the M (row) direction in
+// O(1) per step: within a run of Wo consecutive rows the address advances by
+// Stride, and the iterator carries the precomputed jumps across output-row
+// and sample boundaries. It replaces a full Decode (four div/mods) per
+// element in the trace generator's inner loops with two compares and an add.
+//
+// The iterator yields rows row0, row0+1, ... of the fixed column; advancing
+// past the last matrix row is harmless (the out-of-range address is simply
+// never read).
+type ColumnIter struct {
+	addr int64 // element address of the current row
+
+	ox, oy int // output-pixel coordinate of the current row
+	wo, ho int // output feature-map extents (run lengths)
+
+	// Address deltas: one output pixel to the right; additional jump when
+	// the output row wraps; additional jump when the sample wraps.
+	stepX, stepRow, stepSample int64
+
+	// Padding-halo test state: (y, x) is the padded input coordinate of the
+	// current row, stepped alongside addr; the halo is everything outside
+	// [padLo, padHiY) x [padLo, padHiX).
+	x, y                  int
+	r, s                  int // filter-tap offsets of this column
+	stride                int
+	padLo, padHiY, padHiX int
+}
+
+// ColumnIter positions an iterator at (row0, col). The one-off cost is a
+// single Decode; every subsequent row costs O(1).
+func (mt Matrix) ColumnIter(col, row0 int) ColumnIter {
+	co := mt.Decode(row0, col)
+	rem := col % (mt.L.Hf * mt.L.Wf)
+	r, s := rem/mt.L.Wf, rem%mt.L.Wf
+
+	stride := int64(mt.L.Stride)
+	wiP := int64(mt.wiP)
+	sample := int64(mt.L.Ci) * int64(mt.hiP) * wiP
+	rem2 := row0 % (mt.ho * mt.wo)
+	return ColumnIter{
+		addr:       mt.Address(row0, col),
+		ox:         rem2 % mt.wo,
+		oy:         rem2 / mt.wo,
+		wo:         mt.wo,
+		ho:         mt.ho,
+		stepX:      stride,
+		stepRow:    stride*wiP - int64(mt.wo)*stride,
+		stepSample: sample - int64(mt.ho)*stride*wiP,
+		x:          co.X,
+		y:          co.Y,
+		r:          r,
+		s:          s,
+		stride:     mt.L.Stride,
+		padLo:      mt.L.Pad,
+		padHiY:     mt.L.Pad + mt.L.Hi,
+		padHiX:     mt.L.Pad + mt.L.Wi,
+	}
+}
+
+// Addr returns the element address of the current row (multiply by
+// layers.ElemBytes for a byte address).
+func (it *ColumnIter) Addr() int64 { return it.addr }
+
+// IsPad reports whether the current row falls in the zero-padding halo.
+func (it *ColumnIter) IsPad() bool {
+	return it.y < it.padLo || it.y >= it.padHiY || it.x < it.padLo || it.x >= it.padHiX
+}
+
+// Advance steps the iterator one matrix row down the column.
+func (it *ColumnIter) Advance() {
+	it.addr += it.stepX
+	it.x += it.stride
+	it.ox++
+	if it.ox == it.wo {
+		it.ox = 0
+		it.x = it.s
+		it.addr += it.stepRow
+		it.y += it.stride
+		it.oy++
+		if it.oy == it.ho {
+			it.oy = 0
+			it.y = it.r
+			it.addr += it.stepSample
+		}
 	}
 }
 

@@ -211,6 +211,55 @@ func TestQuickNoPadWithoutPadding(t *testing.T) {
 	}
 }
 
+// TestQuickColumnIterMatchesAddress: the incremental iterator reproduces the
+// closed-form Address and IsPad at every row of any column, from any start.
+func TestQuickColumnIterMatchesAddress(t *testing.T) {
+	f := func(b, ci, hw, co, fs, s, p uint8, rowSeed, colSeed uint16) bool {
+		l := randLayer(b, ci, hw, co, fs, s, p)
+		if l.Validate() != nil {
+			return true
+		}
+		mt := New(l)
+		m, _, k := mt.Dims()
+		col := int(colSeed) % k
+		row0 := int(rowSeed) % m
+		it := mt.ColumnIter(col, row0)
+		for row := row0; row < m; row++ {
+			if it.Addr() != mt.Address(row, col) {
+				t.Logf("%s: addr(%d,%d) = %d, want %d", l.Name, row, col, it.Addr(), mt.Address(row, col))
+				return false
+			}
+			if it.IsPad() != mt.IsPad(row, col) {
+				t.Logf("%s: pad(%d,%d) = %v, want %v", l.Name, row, col, it.IsPad(), mt.IsPad(row, col))
+				return false
+			}
+			it.Advance()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnIterStrideTwoWithPad(t *testing.T) {
+	// Deterministic spot check on a geometry that exercises every wrap: 3x3
+	// stride-2 filter with padding over a batch of 2.
+	l := layers.Conv{Name: "s2p", B: 2, Ci: 3, Hi: 9, Wi: 7, Co: 4, Hf: 3, Wf: 3, Stride: 2, Pad: 1}
+	mt := New(l)
+	m, _, k := mt.Dims()
+	for col := 0; col < k; col++ {
+		it := mt.ColumnIter(col, 0)
+		for row := 0; row < m; row++ {
+			if it.Addr() != mt.Address(row, col) || it.IsPad() != mt.IsPad(row, col) {
+				t.Fatalf("iter diverged at (%d,%d): addr %d/%d pad %v/%v",
+					row, col, it.Addr(), mt.Address(row, col), it.IsPad(), mt.IsPad(row, col))
+			}
+			it.Advance()
+		}
+	}
+}
+
 func BenchmarkAddress(b *testing.B) {
 	mt := New(layers.Conv{Name: "bench", B: 256, Ci: 256, Hi: 13, Wi: 13, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1})
 	m, _, k := mt.Dims()

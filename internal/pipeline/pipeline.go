@@ -183,11 +183,12 @@ type cacheKey struct {
 	skipDgrad bool
 }
 
-// cacheEntry memoizes one evaluation; once guarantees a single computation
-// even under concurrent first lookups of the same key.
+// cacheEntry memoizes one computation (an analytical Result or an
+// engine.Result); once guarantees a single computation even under
+// concurrent first lookups of the same key.
 type cacheEntry struct {
 	once sync.Once
-	res  Result
+	res  any
 	err  error
 }
 
@@ -241,16 +242,22 @@ func (e *Evaluator) Stats() Stats {
 	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load()}
 }
 
-func (e *Evaluator) poolSize(n int) int {
+// width returns the configured worker-pool width (uncapped by batch size).
+func (e *Evaluator) width() int {
 	w := e.workers
 	if w < 1 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > n {
-		w = n
-	}
 	if w < 1 {
 		w = 1
+	}
+	return w
+}
+
+func (e *Evaluator) poolSize(n int) int {
+	w := e.width()
+	if w > n {
+		w = n
 	}
 	return w
 }
@@ -272,6 +279,17 @@ func (e *Evaluator) Evaluate(ctx context.Context, req Request) (Result, error) {
 		model: req.Model, pass: req.Pass,
 		missRate: req.MissRate, skipDgrad: req.SkipDgrad,
 	}
+	v, err := e.memoize(key, func() (any, error) { return evalOne(req) })
+	if err != nil {
+		return Result{}, err
+	}
+	return v.(Result), nil
+}
+
+// memoize answers computations through the capped memo cache: the first
+// lookup of a key computes (exactly once, even under concurrent first
+// lookups), later lookups are served from the stored entry.
+func (e *Evaluator) memoize(key any, compute func() (any, error)) (any, error) {
 	v, loaded := e.cache.Load(key)
 	if !loaded {
 		// Cap the cache: once full, distinct new requests compute without
@@ -280,7 +298,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, req Request) (Result, error) {
 		// bounded by the worker count and harmless.
 		if e.cacheSize.Load() >= int64(e.cacheLimit) {
 			e.misses.Add(1)
-			return evalOne(req)
+			return compute()
 		}
 		v, loaded = e.cache.LoadOrStore(key, new(cacheEntry))
 		if !loaded {
@@ -290,7 +308,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, req Request) (Result, error) {
 	ent := v.(*cacheEntry)
 	computed := false
 	ent.once.Do(func() {
-		ent.res, ent.err = evalOne(req)
+		ent.res, ent.err = compute()
 		computed = true
 	})
 	if computed || !loaded {
@@ -348,16 +366,37 @@ func (e *Evaluator) EvaluateAll(ctx context.Context, reqs []Request) ([]Result, 
 		return nil, ctx.Err()
 	}
 	out := make([]Result, len(reqs))
-	workers := e.poolSize(len(reqs))
-	if workers == 1 {
-		for i, req := range reqs {
-			r, err := e.Evaluate(ctx, req)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = r
+	err := e.forEach(ctx, len(reqs), func(ctx context.Context, i int) error {
+		r, err := e.Evaluate(ctx, reqs[i])
+		if err != nil {
+			return err
 		}
-		return out, nil
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEach runs fn(i) for every index in [0, n) across the worker pool,
+// honoring context cancellation. On error the lowest failing index wins
+// (serial fail-fast semantics) and in-flight work is cancelled. It is the
+// fan-out primitive under every batch entry point (analytical evaluations
+// and trace-driven simulations alike).
+func (e *Evaluator) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	workers := e.poolSize(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -392,25 +431,23 @@ func (e *Evaluator) EvaluateAll(ctx context.Context, reqs []Request) ([]Result, 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(reqs) {
+				if i >= n {
 					return
 				}
 				if err := ctx.Err(); err != nil {
 					fail(i, err)
 					return
 				}
-				r, err := e.Evaluate(ctx, reqs[i])
-				if err != nil {
+				if err := fn(ctx, i); err != nil {
 					fail(i, err)
 					return
 				}
-				out[i] = r
 			}
 		}()
 	}
 	wg.Wait()
 	if errIdx != -1 {
-		return nil, first
+		return first
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,97 @@
+// Trace-driven simulation requests: the fourth request kind of the unified
+// pipeline. Simulations are far heavier than analytical evaluations (they
+// replay every warp of every CTA), which makes the worker-pool fan-out and
+// the memo cache matter even more here: experiment drivers ask for the same
+// (layer, device, config) simulation across figures, and design-space
+// sweeps repeat layers verbatim.
+
+package pipeline
+
+import (
+	"context"
+
+	"delta/internal/layers"
+	"delta/internal/sim/engine"
+)
+
+// SimRequest names one trace-driven simulation: a layer under an engine
+// configuration (device, cache geometry, scheduling and sampling knobs).
+type SimRequest struct {
+	Layer  layers.Conv
+	Config engine.Config
+}
+
+// simKey is the comparable identity of a SimRequest. The engine config is
+// normalized (defaults applied, Workers cleared) because every Workers
+// setting produces bit-identical counters — a serial run may legitimately
+// serve a later parallel request, and vice versa.
+type simKey struct {
+	layer layers.Conv
+	cfg   engine.Config
+}
+
+// Simulate answers one simulation request, consulting the memo cache first.
+func (e *Evaluator) Simulate(ctx context.Context, req SimRequest) (engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.Result{}, err
+	}
+	if e.noCache {
+		return engine.Run(req.Layer, req.Config)
+	}
+	key := simKey{layer: req.Layer, cfg: req.Config.Normalized()}
+	v, err := e.memoize(key, func() (any, error) {
+		return engine.Run(req.Layer, req.Config)
+	})
+	if err != nil {
+		return engine.Result{}, err
+	}
+	return v.(engine.Result), nil
+}
+
+// SimulateAll answers a batch of simulation requests, fanning the per-layer
+// runs out across the worker pool. Results are index-aligned with the
+// requests; on error the lowest failing index wins and in-flight work is
+// cancelled.
+//
+// When a request leaves Config.Workers unset, the pool width is split
+// across the batch: a batch at least as wide as the pool runs each engine
+// on its serial reference path (layer-level fan-out alone saturates the
+// pool), while a smaller batch gives each engine the leftover width so
+// idle cores still help. Counters are bit-identical at any worker count,
+// so the memo cache is shared across all shapes.
+func (e *Evaluator) SimulateAll(ctx context.Context, reqs []SimRequest) ([]engine.Result, error) {
+	if len(reqs) == 0 {
+		return nil, ctx.Err()
+	}
+	perEngine := e.width() / len(reqs)
+	if perEngine < 1 {
+		perEngine = 1
+	}
+	out := make([]engine.Result, len(reqs))
+	err := e.forEach(ctx, len(reqs), func(ctx context.Context, i int) error {
+		req := reqs[i]
+		if req.Config.Workers == 0 {
+			req.Config.Workers = perEngine
+		}
+		r, err := e.Simulate(ctx, req)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SimulateLayers simulates each layer under one shared engine config: the
+// shape every experiment driver needs (a layer list on one device).
+func (e *Evaluator) SimulateLayers(ctx context.Context, ls []layers.Conv, cfg engine.Config) ([]engine.Result, error) {
+	reqs := make([]SimRequest, len(ls))
+	for i, l := range ls {
+		reqs[i] = SimRequest{Layer: l, Config: cfg}
+	}
+	return e.SimulateAll(ctx, reqs)
+}

@@ -7,7 +7,10 @@
 // that sector. Replacement is LRU within a set.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config sizes a cache.
 type Config struct {
@@ -188,9 +191,7 @@ func (c *Cache) install(set []way, lineAddr int64, sector uint, dirty bool) {
 }
 
 func (c *Cache) countWritebacks(dirty uint64) {
-	for ; dirty != 0; dirty &= dirty - 1 {
-		c.stats.DirtyWritebacks++
-	}
+	c.stats.DirtyWritebacks += uint64(bits.OnesCount64(dirty))
 }
 
 // FlushDirty writes back every dirty sector still resident (end of kernel)

@@ -6,10 +6,17 @@
 // The engine substitutes for the paper's nvprof measurements: its traffic
 // counters at each level are the "measured" side of every model-vs-measured
 // figure (DESIGN.md, Substitutions).
+//
+// Two execution strategies produce bit-identical counters: the serial
+// reference engine (Config.Workers = 1) walks the wave schedule on one
+// goroutine, and the default parallel engine fans per-SM L1 simulation out
+// across workers and replays the recorded L1 miss segments through the
+// shared L2 in the exact serial interleave order (see runParallel).
 package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"delta/internal/gpu"
 	"delta/internal/layers"
@@ -39,6 +46,12 @@ type Config struct {
 	// waves (0 = run everything). Counters are NOT scaled; callers that
 	// sample must scale. Used only to bound very large experiments.
 	MaxWaves int
+
+	// Workers bounds the goroutines the engine fans per-SM L1 simulation
+	// across: 0 (the default) uses GOMAXPROCS, 1 selects the serial
+	// reference engine, and higher values cap the pool explicitly (never
+	// above the SM count). Every setting yields bit-identical counters.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -48,6 +61,15 @@ func (c Config) withDefaults() Config {
 	if c.L2Ways == 0 {
 		c.L2Ways = 16
 	}
+	return c
+}
+
+// Normalized returns the config with cache-geometry defaults applied and
+// the Workers knob cleared: the equivalence class under which results are
+// bit-identical, so it is usable as a memoization key.
+func (c Config) Normalized() Config {
+	c = c.withDefaults()
+	c.Workers = 0
 	return c
 }
 
@@ -111,7 +133,8 @@ func Run(l layers.Conv, cfg Config) (Result, error) {
 	if err := l.Validate(); err != nil {
 		return Result{}, err
 	}
-	return RunGrid(l, tiling.NewGrid(l), cfg)
+	// The layer is already validated; skip RunGrid's duplicate check.
+	return runGrid(l, tiling.NewGrid(l), cfg)
 }
 
 // RunGrid simulates one layer with an explicit CTA grid.
@@ -119,14 +142,46 @@ func RunGrid(l layers.Conv, grid tiling.Grid, cfg Config) (Result, error) {
 	if err := l.Validate(); err != nil {
 		return Result{}, err
 	}
-	d := cfg.Device
-	if err := d.Validate(); err != nil {
+	return runGrid(l, grid, cfg)
+}
+
+func runGrid(l layers.Conv, grid tiling.Grid, cfg Config) (Result, error) {
+	if err := cfg.Device.Validate(); err != nil {
 		return Result{}, err
 	}
 	cfg = cfg.withDefaults()
+	s := newSim(l, grid, cfg)
+	if w := s.workerCount(); w > 1 {
+		s.runParallel(w)
+	} else {
+		s.runSerial()
+	}
+	return s.finish()
+}
 
+// sim carries the state of one simulation run, shared by the serial and
+// parallel engines.
+type sim struct {
+	cfg  Config
+	d    gpu.Device
+	grid tiling.Grid
+	gen  *trace.Generator
+
+	l1s []*cache.Cache
+	l2  *cache.Cache
+
+	loops    int
+	waveSize int
+	limit    int // schedule indices simulated: min(NumCTA, MaxWaves*waveSize)
+
+	ofmapBase   int64
+	dramSectors uint64
+	res         Result
+}
+
+func newSim(l layers.Conv, grid tiling.Grid, cfg Config) *sim {
+	d := cfg.Device
 	gen := trace.New(l, grid, cfg.SkipPadding)
-	co := trace.NewCoalescer(d.L1ReqBytes, d.SectorBytes)
 
 	l1s := make([]*cache.Cache, d.NumSM)
 	l1Size := int(d.L1SizeKBPerSM * 1024)
@@ -147,134 +202,133 @@ func RunGrid(l layers.Conv, grid tiling.Grid, cfg Config) (Result, error) {
 		SectorBytes: d.SectorBytes, Ways: cfg.L2Ways,
 	})
 
-	res := Result{Layer: l, Device: d.Name, Grid: grid, TotalCTAs: grid.NumCTA()}
-	sectorBytes := float64(d.SectorBytes)
-	reqBytes := float64(d.L1ReqBytes)
-	var dramSectors uint64
-
-	// One warp request: coalesce, probe L1, forward misses to L2, count
-	// L2 misses as DRAM sectors.
-	issue := func(l1 *cache.Cache) trace.VisitFn {
-		return func(addrs []int64) {
-			reqs := co.Coalesce(addrs)
-			res.L1Requests += uint64(reqs)
-			for _, s := range co.Sectors() {
-				byteAddr := s * co.SectorBytes()
-				if !l1.AccessSector(byteAddr) {
-					if !l2.AccessSector(byteAddr) {
-						dramSectors++
-					}
-				}
-			}
-		}
-	}
-
-	// Column-major CTA order (Section IV-C: column-wise scheduling for the
-	// skinny im2col GEMM), assigned round-robin to SMs, executed in waves
-	// of NumSM x ActiveCTAs CTAs. Within a wave, loops proceed in lockstep
-	// across CTAs so concurrently-resident CTAs interleave in L2 — the
-	// behaviour the DRAM model's reuse argument (Fig. 8) relies on.
-	active := grid.ActiveCTAs(d)
-	waveSize := d.NumSM * active
-	loops := grid.MainLoops()
+	// CTAs execute in waves of NumSM x ActiveCTAs (Section IV-C), assigned
+	// round-robin to SMs. MaxWaves truncates the schedule to whole waves.
 	numCTA := grid.NumCTA()
+	s := &sim{
+		cfg: cfg, d: d, grid: grid, gen: gen,
+		l1s: l1s, l2: l2,
+		loops:    grid.MainLoops(),
+		waveSize: d.NumSM * grid.ActiveCTAs(d),
+		limit:    numCTA,
+		// Epilogue stores: the OFmap lives after the weight region.
+		ofmapBase: gen.FilterBase() + int64(grid.K)*int64(grid.N)*layers.ElemBytes,
+		res:       Result{Layer: l, Device: d.Name, Grid: grid, TotalCTAs: numCTA},
+	}
+	if cfg.MaxWaves > 0 && cfg.MaxWaves*s.waveSize < numCTA {
+		s.limit = cfg.MaxWaves * s.waveSize
+	}
+	return s
+}
 
-	// Epilogue stores: each CTA writes its blkM x blkN block of the
-	// row-major M x N OFmap, which lives after the weight region. Stores
-	// bypass L1 and write-allocate in L2.
-	ofmapBase := gen.FilterBase() + int64(grid.K)*int64(grid.N)*layers.ElemBytes
-	sb := int64(d.SectorBytes)
-	storeCTA := func(row, col int) {
-		m0 := row * grid.Tile.BlkM
-		n0 := col * grid.Tile.BlkN
-		nEnd := n0 + grid.Tile.BlkN
-		if nEnd > grid.N {
-			nEnd = grid.N
-		}
-		for m := m0; m < m0+grid.Tile.BlkM && m < grid.M; m++ {
-			start := ofmapBase + (int64(m)*int64(grid.N)+int64(n0))*layers.ElemBytes
-			end := ofmapBase + (int64(m)*int64(grid.N)+int64(nEnd))*layers.ElemBytes
-			for s := start / sb; s*sb < end; s++ {
-				l2.WriteSector(s * sb)
-			}
+// workerCount resolves the Config.Workers knob against GOMAXPROCS and the
+// SM count (one worker per SM at most).
+func (s *sim) workerCount() int {
+	w := s.cfg.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > s.d.NumSM {
+		w = s.d.NumSM
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ctaAt maps a schedule index to CTA grid coordinates: column-major order
+// (Section IV-C: column-wise scheduling for the skinny im2col GEMM) or
+// row-major under the ablation knob.
+func (s *sim) ctaAt(idx int) (row, col int) {
+	if s.cfg.RowMajorScheduling {
+		return idx / s.grid.Cols, idx % s.grid.Cols
+	}
+	return idx % s.grid.Rows, idx / s.grid.Rows
+}
+
+// storeCTA issues the epilogue stores of CTA (row, col): its blkM x blkN
+// block of the row-major M x N OFmap. Stores bypass L1 and write-allocate
+// in L2.
+func (s *sim) storeCTA(row, col int) {
+	g := s.grid
+	sb := int64(s.d.SectorBytes)
+	m0 := row * g.Tile.BlkM
+	n0 := col * g.Tile.BlkN
+	nEnd := n0 + g.Tile.BlkN
+	if nEnd > g.N {
+		nEnd = g.N
+	}
+	for m := m0; m < m0+g.Tile.BlkM && m < g.M; m++ {
+		start := s.ofmapBase + (int64(m)*int64(g.N)+int64(n0))*layers.ElemBytes
+		end := s.ofmapBase + (int64(m)*int64(g.N)+int64(nEnd))*layers.ElemBytes
+		for sec := start / sb; sec*sb < end; sec++ {
+			s.l2.WriteSector(sec * sb)
 		}
 	}
+}
 
-	type ctaID struct{ row, col, sm int }
-	wave := make([]ctaID, 0, waveSize)
-	waves := 0
-	flush := func() {
-		if len(wave) == 0 {
-			return
-		}
-		for loop := 0; loop < loops; loop++ {
-			for _, c := range wave {
-				v := issue(l1s[c.sm])
-				gen.IFmapLoop(c.row, loop, v)
-				gen.FilterLoop(c.col, loop, v)
-			}
-		}
-		for _, c := range wave {
-			storeCTA(c.row, c.col)
-		}
-		res.SimulatedCTAs += len(wave)
-		wave = wave[:0]
-		waves++
-	}
-
-	idx := 0
-	enqueue := func(rowIdx, colIdx int) bool {
-		wave = append(wave, ctaID{row: rowIdx, col: colIdx, sm: idx % d.NumSM})
-		idx++
-		if len(wave) == waveSize {
-			flush()
-			if cfg.MaxWaves > 0 && waves >= cfg.MaxWaves {
-				return false
-			}
-		}
-		return true
-	}
-	schedule := func() {
-		if cfg.RowMajorScheduling {
-			for rowIdx := 0; rowIdx < grid.Rows; rowIdx++ {
-				for colIdx := 0; colIdx < grid.Cols; colIdx++ {
-					if !enqueue(rowIdx, colIdx) {
-						return
-					}
+// runSerial is the reference engine: one goroutine walks the wave schedule
+// in program order — within a wave, loops proceed in lockstep across CTAs
+// so concurrently-resident CTAs interleave in L2, the behaviour the DRAM
+// model's reuse argument (Fig. 8) relies on — driving every L1 and the
+// shared L2 directly.
+func (s *sim) runSerial() {
+	co := trace.NewCoalescer(s.d.L1ReqBytes, s.d.SectorBytes)
+	var l1 *cache.Cache
+	visit := func(addrs []int64) {
+		s.res.L1Requests += uint64(co.Coalesce(addrs))
+		for _, sec := range co.Sectors() {
+			byteAddr := sec * co.SectorBytes()
+			if !l1.AccessSector(byteAddr) {
+				if !s.l2.AccessSector(byteAddr) {
+					s.dramSectors++
 				}
 			}
-			return
 		}
-		for colIdx := 0; colIdx < grid.Cols; colIdx++ {
-			for rowIdx := 0; rowIdx < grid.Rows; rowIdx++ {
-				if !enqueue(rowIdx, colIdx) {
-					return
-				}
+	}
+	for start := 0; start < s.limit; start += s.waveSize {
+		end := start + s.waveSize
+		if end > s.limit {
+			end = s.limit
+		}
+		for loop := 0; loop < s.loops; loop++ {
+			for idx := start; idx < end; idx++ {
+				row, col := s.ctaAt(idx)
+				l1 = s.l1s[idx%s.d.NumSM]
+				s.gen.IFmapLoop(row, loop, visit)
+				s.gen.FilterLoop(col, loop, visit)
 			}
 		}
+		for idx := start; idx < end; idx++ {
+			s.storeCTA(s.ctaAt(idx))
+		}
+		s.res.SimulatedCTAs += end - start
 	}
-	schedule()
-	if cfg.MaxWaves == 0 || waves < cfg.MaxWaves {
-		flush()
-	}
-	if res.SimulatedCTAs == 0 {
-		return Result{}, fmt.Errorf("engine: no CTAs simulated for %s (%d total)", l.Name, numCTA)
-	}
+}
 
-	for _, c := range l1s {
-		s := c.Stats()
-		res.L1Stats.SectorAccesses += s.SectorAccesses
-		res.L1Stats.SectorHits += s.SectorHits
-		res.L1Stats.SectorMisses += s.SectorMisses
-		res.L1Stats.LineEvictions += s.LineEvictions
+// finish aggregates per-cache stats into the Result, in the same order the
+// serial engine always has (SM index order, then L2).
+func (s *sim) finish() (Result, error) {
+	if s.res.SimulatedCTAs == 0 {
+		return Result{}, fmt.Errorf("engine: no CTAs simulated for %s (%d total)",
+			s.res.Layer.Name, s.res.TotalCTAs)
 	}
-	l2.FlushDirty()
-	res.L2Stats = l2.Stats()
+	for _, c := range s.l1s {
+		st := c.Stats()
+		s.res.L1Stats.SectorAccesses += st.SectorAccesses
+		s.res.L1Stats.SectorHits += st.SectorHits
+		s.res.L1Stats.SectorMisses += st.SectorMisses
+		s.res.L1Stats.LineEvictions += st.LineEvictions
+	}
+	s.l2.FlushDirty()
+	s.res.L2Stats = s.l2.Stats()
 
-	res.L1Bytes = float64(res.L1Requests) * reqBytes
-	res.L2Bytes = float64(res.L1Stats.SectorMisses) * sectorBytes
-	res.DRAMBytes = float64(dramSectors) * sectorBytes
-	res.StoreBytes = float64(res.L2Stats.SectorWrites) * sectorBytes
-	res.DRAMWriteBytes = float64(res.L2Stats.DirtyWritebacks) * sectorBytes
-	return res, nil
+	sectorBytes := float64(s.d.SectorBytes)
+	s.res.L1Bytes = float64(s.res.L1Requests) * float64(s.d.L1ReqBytes)
+	s.res.L2Bytes = float64(s.res.L1Stats.SectorMisses) * sectorBytes
+	s.res.DRAMBytes = float64(s.dramSectors) * sectorBytes
+	s.res.StoreBytes = float64(s.res.L2Stats.SectorWrites) * sectorBytes
+	s.res.DRAMWriteBytes = float64(s.res.L2Stats.DirtyWritebacks) * sectorBytes
+	return s.res, nil
 }

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"delta/internal/gpu"
+	"delta/internal/layers"
+)
+
+// equivCorpus spans the grid shapes the paper suite produces: all three
+// Fig. 6 tiles (Co <= 32, <= 64, > 64), pointwise and spatial filters,
+// stride 2, no padding, multi-wave launches, and an edge-heavy grid.
+var equivCorpus = []layers.Conv{
+	{Name: "narrow", B: 2, Ci: 96, Hi: 14, Wi: 14, Co: 32, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+	{Name: "mid", B: 2, Ci: 64, Hi: 28, Wi: 28, Co: 64, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+	{Name: "wide", B: 2, Ci: 128, Hi: 14, Wi: 14, Co: 256, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+	{Name: "pointwise", B: 4, Ci: 192, Hi: 28, Wi: 28, Co: 64, Hf: 1, Wf: 1, Stride: 1},
+	{Name: "stride2", B: 2, Ci: 48, Hi: 56, Wi: 56, Co: 96, Hf: 5, Wf: 5, Stride: 2, Pad: 2},
+	{Name: "nopad", B: 2, Ci: 32, Hi: 27, Wi: 27, Co: 48, Hf: 3, Wf: 3, Stride: 1},
+	{Name: "multiwave", B: 8, Ci: 32, Hi: 28, Wi: 28, Co: 128, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+}
+
+// equivConfigs are the Config variants the ablations and experiments
+// exercise, per device.
+func equivConfigs(d gpu.Device) []Config {
+	return []Config{
+		{Device: d},
+		{Device: d, SkipPadding: true},
+		{Device: d, RowMajorScheduling: true},
+		{Device: d, MaxWaves: 1},
+		{Device: d, MaxWaves: 2, RowMajorScheduling: true},
+		{Device: d, L1Ways: 2, L2Ways: 8},
+	}
+}
+
+// TestParallelBitIdentical asserts the two-phase parallel engine reproduces
+// the serial reference engine's Result exactly — every counter, byte total,
+// and cache stat — across the corpus, for several worker counts. Run under
+// -race in CI, this is also the engine's data-race gauntlet.
+func TestParallelBitIdentical(t *testing.T) {
+	for _, d := range []gpu.Device{gpu.TitanXp(), gpu.V100()} {
+		for _, l := range equivCorpus {
+			for ci, cfg := range equivConfigs(d) {
+				cfg := cfg
+				t.Run(fmt.Sprintf("%s/%s/cfg%d", d.Name, l.Name, ci), func(t *testing.T) {
+					t.Parallel()
+					serial := cfg
+					serial.Workers = 1
+					want, err := Run(l, serial)
+					if err != nil {
+						t.Fatalf("serial: %v", err)
+					}
+					for _, workers := range []int{0, 2, 3} {
+						par := cfg
+						par.Workers = workers
+						got, err := Run(l, par)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						if got != want {
+							t.Errorf("workers=%d diverged from serial:\n got %+v\nwant %+v",
+								workers, got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"sync"
+
+	"delta/internal/sim/cache"
+	"delta/internal/sim/trace"
+)
+
+// waveSlot buffers one CTA's L1 sector-miss stream for one wave: misses
+// holds the miss byte addresses of every main loop back to back, in issue
+// order, and loopEnd[i] is the end offset of loop i's segment.
+type waveSlot struct {
+	misses  []int64
+	loopEnd []int32
+}
+
+// waveBuf is one wave's slots plus its schedule-index range. Two buffers
+// alternate so the L2 replay of wave w overlaps the L1 phase of wave w+1.
+type waveBuf struct {
+	start, end int
+	slots      []waveSlot
+}
+
+func newWaveBuf(waveSize, loops int) *waveBuf {
+	b := &waveBuf{slots: make([]waveSlot, waveSize)}
+	for i := range b.slots {
+		b.slots[i].loopEnd = make([]int32, loops)
+	}
+	return b
+}
+
+// runParallel is the deterministic two-phase engine.
+//
+// Phase 1 (parallel): each wave's CTAs fan out across workers keyed by SM —
+// worker w owns every SM with index ≡ w (mod workers) — so each L1 cache is
+// driven by exactly one goroutine, in the serial engine's per-SM access
+// order (loop-major lockstep, wave order within a loop). Per-SM L1
+// simulation is independent within a wave: instead of touching the shared
+// L2, workers record each CTA's L1 sector misses into its (loop, slot)
+// segment of a reusable wave buffer.
+//
+// Phase 2 (serial): the coordinating goroutine replays the recorded miss
+// segments through the L2 in the exact serial interleave order — loop-major,
+// wave order within a loop, then the wave's epilogue stores — so L2 state
+// transitions, DRAM sector counts, and dirty writebacks are bit-identical
+// to runSerial. Wave w's replay overlaps wave w+1's L1 phase; the two
+// phases always touch disjoint buffers.
+func (s *sim) runParallel(workers int) {
+	nsm := s.d.NumSM
+	bufs := [2]*waveBuf{newWaveBuf(s.waveSize, s.loops), newWaveBuf(s.waveSize, s.loops)}
+
+	var wave sync.WaitGroup // per-wave L1 phase barrier
+	var exit sync.WaitGroup
+	chans := make([]chan *waveBuf, workers)
+	requests := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		chans[w] = make(chan *waveBuf, 1)
+		exit.Add(1)
+		go func(w int) {
+			defer exit.Done()
+			co := trace.NewCoalescer(s.d.L1ReqBytes, s.d.SectorBytes)
+			var reqs uint64
+			var l1 *cache.Cache
+			var slot *waveSlot
+			visit := func(addrs []int64) {
+				reqs += uint64(co.Coalesce(addrs))
+				for _, sec := range co.Sectors() {
+					byteAddr := sec * co.SectorBytes()
+					if !l1.AccessSector(byteAddr) {
+						slot.misses = append(slot.misses, byteAddr)
+					}
+				}
+			}
+			for b := range chans[w] {
+				for loop := 0; loop < s.loops; loop++ {
+					for idx := b.start; idx < b.end; idx++ {
+						sm := idx % nsm
+						if sm%workers != w {
+							continue
+						}
+						slot = &b.slots[idx-b.start]
+						l1 = s.l1s[sm]
+						row, col := s.ctaAt(idx)
+						s.gen.IFmapLoop(row, loop, visit)
+						s.gen.FilterLoop(col, loop, visit)
+						slot.loopEnd[loop] = int32(len(slot.misses))
+					}
+				}
+				wave.Done()
+			}
+			requests[w] = reqs
+		}(w)
+	}
+
+	dispatch := func(b *waveBuf, start, end int) {
+		b.start, b.end = start, end
+		for i := range b.slots[:end-start] {
+			b.slots[i].misses = b.slots[i].misses[:0]
+		}
+		wave.Add(workers)
+		for _, ch := range chans {
+			ch <- b
+		}
+	}
+
+	var pending *waveBuf
+	cur := 0
+	for start := 0; start < s.limit; start += s.waveSize {
+		end := start + s.waveSize
+		if end > s.limit {
+			end = s.limit
+		}
+		dispatch(bufs[cur], start, end)
+		if pending != nil {
+			s.replay(pending)
+		}
+		wave.Wait()
+		pending = bufs[cur]
+		cur ^= 1
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	exit.Wait()
+	if pending != nil {
+		s.replay(pending)
+	}
+	for _, r := range requests {
+		s.res.L1Requests += r
+	}
+}
+
+// replay runs one wave's recorded L1 miss segments through the shared L2 in
+// the serial interleave order, then issues the wave's epilogue stores.
+func (s *sim) replay(b *waveBuf) {
+	n := b.end - b.start
+	for loop := 0; loop < s.loops; loop++ {
+		for si := 0; si < n; si++ {
+			slot := &b.slots[si]
+			lo := int32(0)
+			if loop > 0 {
+				lo = slot.loopEnd[loop-1]
+			}
+			for _, a := range slot.misses[lo:slot.loopEnd[loop]] {
+				if !s.l2.AccessSector(a) {
+					s.dramSectors++
+				}
+			}
+		}
+	}
+	for idx := b.start; idx < b.end; idx++ {
+		s.storeCTA(s.ctaAt(idx))
+	}
+	s.res.SimulatedCTAs += n
+}

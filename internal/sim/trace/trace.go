@@ -52,11 +52,16 @@ type VisitFn func(addrs []int64)
 // IFmapLoop emits the warp requests loading the blkM x blkK IFmap tile of
 // CTA (ctaRow, _) for one main loop. Threads are arranged down the M
 // dimension, so each warp covers 32 consecutive rows of one matrix column —
-// the Fig. 5a access pattern.
+// the Fig. 5a access pattern. Addresses are produced by stride-stepping an
+// incremental column iterator instead of a full Address decode per element.
 func (g *Generator) IFmapLoop(ctaRow, loop int, visit VisitFn) {
 	t := g.Grid.Tile
 	k0 := loop * t.BlkK
 	row0 := ctaRow * t.BlkM
+	rows := t.BlkM
+	if row0+rows > g.Grid.M {
+		rows = g.Grid.M - row0
+	}
 	var buf [tiling.WarpSize]int64
 
 	for dk := 0; dk < t.BlkK; dk++ {
@@ -64,18 +69,19 @@ func (g *Generator) IFmapLoop(ctaRow, loop int, visit VisitFn) {
 		if k >= g.Grid.K {
 			break
 		}
-		for chunk := 0; chunk < t.BlkM; chunk += tiling.WarpSize {
+		it := g.mat.ColumnIter(k, row0)
+		for chunk := 0; chunk < rows; chunk += tiling.WarpSize {
+			lanes := rows - chunk
+			if lanes > tiling.WarpSize {
+				lanes = tiling.WarpSize
+			}
 			n := 0
-			for i := 0; i < tiling.WarpSize; i++ {
-				row := row0 + chunk + i
-				if row >= g.Grid.M {
-					break
+			for i := 0; i < lanes; i++ {
+				if !g.skipPad || !it.IsPad() {
+					buf[n] = it.Addr() * layers.ElemBytes
+					n++
 				}
-				if g.skipPad && g.mat.IsPad(row, k) {
-					continue
-				}
-				buf[n] = g.mat.Address(row, k) * layers.ElemBytes
-				n++
+				it.Advance()
 			}
 			if n > 0 {
 				visit(buf[:n])
@@ -98,6 +104,10 @@ func (g *Generator) FilterLoop(ctaCol, loop int, visit VisitFn) {
 	}
 	var buf [tiling.WarpSize]int64
 
+	ks := t.BlkK
+	if k0+ks > g.Grid.K {
+		ks = g.Grid.K - k0
+	}
 	for group := 0; group < t.BlkN; group += colsPerWarp {
 		cnt := 0
 		for dc := 0; dc < colsPerWarp; dc++ {
@@ -105,12 +115,11 @@ func (g *Generator) FilterLoop(ctaCol, loop int, visit VisitFn) {
 			if n >= g.Grid.N {
 				break
 			}
-			for dk := 0; dk < t.BlkK; dk++ {
-				k := k0 + dk
-				if k >= g.Grid.K {
-					break
-				}
-				buf[cnt] = g.filterBase + g.fil.Address(k, n)*layers.ElemBytes
+			// Column n's blkK addresses are contiguous from (k0, n).
+			addr := g.filterBase + g.fil.Address(k0, n)*layers.ElemBytes
+			for dk := 0; dk < ks; dk++ {
+				buf[cnt] = addr
+				addr += layers.ElemBytes
 				cnt++
 			}
 		}
@@ -139,12 +148,42 @@ func NewCoalescer(reqBytes, sectorBytes int) *Coalescer {
 // Coalesce ingests one warp's byte addresses. It returns the number of L1
 // requests (unique request-granularity blocks) the warp generates; the
 // unique touched sectors are retrievable via Sectors until the next call.
+//
+// The generator emits every warp's addresses in ascending order (Fig. 5's
+// access patterns are monotone), so duplicates are adjacent and one pass
+// counts sectors and requests during insertion. Unsorted input — possible
+// for external callers — falls back to the quadratic reference scan.
 func (c *Coalescer) Coalesce(addrs []int64) (requests int) {
 	c.nSec = 0
-	for _, a := range addrs {
+	ratio := c.reqBytes / c.sectorBytes
+	prev := int64(-1)
+	lastSec := int64(-1)
+	lastReq := int64(-1)
+	for i, a := range addrs {
+		if a < prev {
+			return c.coalesceUnsorted(addrs[i:])
+		}
+		prev = a
+		if s := a / c.sectorBytes; s != lastSec {
+			c.sectors[c.nSec] = s
+			c.nSec++
+			lastSec = s
+			if r := s / ratio; r != lastReq {
+				requests++
+				lastReq = r
+			}
+		}
+	}
+	return requests
+}
+
+// coalesceUnsorted finishes a warp whose remaining addresses are not in
+// ascending order, deduplicating against everything inserted so far in
+// first-seen order (the reference semantics).
+func (c *Coalescer) coalesceUnsorted(rest []int64) (requests int) {
+	for _, a := range rest {
 		s := a / c.sectorBytes
 		found := false
-		// Addresses arrive nearly sorted; scan back-to-front for speed.
 		for i := c.nSec - 1; i >= 0; i-- {
 			if c.sectors[i] == s {
 				found = true
@@ -156,7 +195,8 @@ func (c *Coalescer) Coalesce(addrs []int64) (requests int) {
 			c.nSec++
 		}
 	}
-	// Requests = unique request-granularity blocks over the sector set.
+	// Count requests over the full sector set: unique request-granularity
+	// blocks in first-seen order.
 	ratio := c.reqBytes / c.sectorBytes
 	for i := 0; i < c.nSec; i++ {
 		r := c.sectors[i] / ratio

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"delta/internal/layers"
@@ -171,6 +173,87 @@ func TestCoalescer32BGranularity(t *testing.T) {
 	// Volta-style 32 B requests: a dense warp needs 4.
 	if reqs := c.Coalesce(addrs); reqs != 4 {
 		t.Errorf("32B requests = %d, want 4", reqs)
+	}
+}
+
+// coalesceRef is the quadratic reference: first-seen-order sector dedup and
+// unique request-block counting, with no sortedness assumption.
+func coalesceRef(addrs []int64, reqBytes, secBytes int64) (requests int, sectors []int64) {
+	for _, a := range addrs {
+		s := a / secBytes
+		found := false
+		for _, q := range sectors {
+			if q == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			sectors = append(sectors, s)
+		}
+	}
+	ratio := reqBytes / secBytes
+	for i, s := range sectors {
+		seen := false
+		for _, q := range sectors[:i] {
+			if q/ratio == s/ratio {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			requests++
+		}
+	}
+	return requests, sectors
+}
+
+func checkCoalesceMatchesRef(t *testing.T, c *Coalescer, addrs []int64, reqBytes, secBytes int64) {
+	t.Helper()
+	wantReqs, wantSecs := coalesceRef(addrs, reqBytes, secBytes)
+	if reqs := c.Coalesce(addrs); reqs != wantReqs {
+		t.Errorf("Coalesce(%v) = %d requests, want %d", addrs, reqs, wantReqs)
+	}
+	got := c.Sectors()
+	if len(got) != len(wantSecs) {
+		t.Fatalf("Sectors(%v) = %v, want %v", addrs, got, wantSecs)
+	}
+	for i := range got {
+		if got[i] != wantSecs[i] {
+			t.Fatalf("Sectors(%v) = %v, want %v", addrs, got, wantSecs)
+		}
+	}
+}
+
+func TestCoalescerUnsortedFallback(t *testing.T) {
+	c := NewCoalescer(128, 32)
+	cases := [][]int64{
+		{96, 0, 64, 32},                    // descending-ish
+		{0, 4, 8, 200, 100, 100, 0, 300},   // sorted prefix, then disorder
+		{500, 500, 500},                    // duplicates only
+		{0, 127, 128, 64, 256, 255, 1024},  // request-block straddles
+		{32, 0},                            // minimal inversion
+		{0, 33, 32, 95, 64, 1, 2, 3, 4, 5}, // dedup against earlier inserts
+	}
+	for _, addrs := range cases {
+		checkCoalesceMatchesRef(t, c, addrs, 128, 32)
+	}
+}
+
+func TestCoalescerQuickVsReference(t *testing.T) {
+	c := NewCoalescer(128, 32)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(tiling.WarpSize)
+		addrs := make([]int64, n)
+		base := int64(rng.Intn(4096)) * 4
+		for i := range addrs {
+			addrs[i] = base + int64(rng.Intn(512))*4
+		}
+		if trial%2 == 0 {
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		}
+		checkCoalesceMatchesRef(t, c, addrs, 128, 32)
 	}
 }
 
