@@ -33,7 +33,7 @@ func benchDriver(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables, err := d.Run(benchCfg)
+		tables, err := d.Run(context.Background(), benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,6 +232,18 @@ func BenchmarkSimSuiteSerial(b *testing.B) { benchkit.SuiteSerial(b) }
 // BenchmarkSimSuiteParallel fans the same corpus across the pipeline
 // worker pool (cacheless, so every layer really simulates).
 func BenchmarkSimSuiteParallel(b *testing.B) { benchkit.SuiteParallel(b) }
+
+// BenchmarkScenarioStream measures declarative-sweep throughput: the
+// canonical multi-axis scenario streamed through a cacheless pipeline,
+// reporting points/s — the Scenario-API overhead metric BENCH_sim.json
+// tracks (see cmd/delta-bench, which runs the same benchkit body).
+func BenchmarkScenarioStream(b *testing.B) { benchkit.ScenarioStream(b) }
+
+// BenchmarkScenarioStreamCached measures the steady-state serving shape:
+// the same sweep against a warm shared evaluator, so every point
+// memo-hits and the measurement isolates pure expansion + streaming
+// overhead.
+func BenchmarkScenarioStreamCached(b *testing.B) { benchkit.ScenarioStreamCached(b) }
 
 // --- Ablation benches (DESIGN.md §4 design choices) ---
 

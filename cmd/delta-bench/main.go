@@ -51,6 +51,12 @@ type baseline struct {
 	// host the parallel engine degrades gracefully to the serial path, so
 	// ~1.0 is expected there; the >= 3x target applies at >= 4 cores.
 	Speedup map[string]float64 `json:"speedup"`
+
+	// Throughput tracks the Scenario-API overhead: whole-network points/s
+	// through Evaluator.Stream on the canonical multi-axis sweep, cold
+	// (cacheless) and warm (memo-cached), so API-layer regressions show
+	// in the trajectory alongside the simulator hot paths.
+	Throughput map[string]float64 `json:"throughput"`
 }
 
 func measure(f func(b *testing.B)) entry {
@@ -76,6 +82,7 @@ func main() {
 		SuiteSize:  len(benchkit.SuiteLayers()),
 		Benchmarks: map[string]entry{},
 		Speedup:    map[string]float64{},
+		Throughput: map[string]float64{},
 	}
 
 	run := func(name string, f func(b *testing.B)) entry {
@@ -91,6 +98,11 @@ func main() {
 
 	doc.Speedup["engine_parallel_vs_serial"] = engSerial.NsPerOp / engPar.NsPerOp
 	doc.Speedup["suite_parallel_vs_serial"] = suiteSerial.NsPerOp / suitePar.NsPerOp
+
+	scenCold := run("ScenarioStream", benchkit.ScenarioStream)
+	scenWarm := run("ScenarioStreamCached", benchkit.ScenarioStreamCached)
+	doc.Throughput["scenario_points_per_sec"] = scenCold.Metrics["points/s"]
+	doc.Throughput["scenario_points_per_sec_cached"] = scenWarm.Metrics["points/s"]
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

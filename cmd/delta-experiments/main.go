@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -30,6 +32,9 @@ func main() {
 		csvDir   = flag.String("csvdir", "", "also write each table as CSV into this directory")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -63,7 +68,7 @@ func main() {
 
 	for _, d := range drivers {
 		start := time.Now()
-		tables, err := d.Run(cfg)
+		tables, err := d.Run(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "delta-experiments: %s: %v\n", d.ID, err)
 			os.Exit(1)

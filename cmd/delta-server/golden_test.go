@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files from the live handlers:
+//
+//	go test ./cmd/delta-server -run TestV1Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCases are the pinned /v1 requests. The golden bodies were captured
+// before the /v1 handlers became adapters over the scenario path, so these
+// tests prove the redesign is byte-identical to the original synchronous
+// implementation.
+var goldenCases = []struct {
+	name, path, body string
+}{
+	{"estimate_layers", "/v1/estimate", `{
+	  "device": "TITAN Xp",
+	  "layers": [
+	    {"name": "conv2", "b": 32, "ci": 96, "hi": 27, "co": 256, "hf": 5, "stride": 1, "pad": 2},
+	    {"name": "conv3", "b": 32, "ci": 256, "hi": 13, "co": 384, "hf": 3, "stride": 1, "pad": 1, "count": 2}
+	  ]
+	}`},
+	{"network_alexnet", "/v1/network", `{"network": "alexnet", "batch": 32, "device": "v100"}`},
+	{"network_training", "/v1/network", `{"network": "alexnet", "batch": 16, "pass": "training"}`},
+	{"network_prior", "/v1/network", `{"network": "alexnet", "batch": 16, "model": "prior", "miss_rate": 0.5}`},
+	{"network_roofline", "/v1/network", `{"network": "alexnet", "batch": 16, "model": "roofline"}`},
+	{"network_options", "/v1/network", `{"network": "googlenet", "batch": 16, "device": "P100", "options": {"paper_mli_filter": true}}`},
+	{"explore_grid", "/v1/explore", `{
+	  "network": "alexnet", "batch": 16,
+	  "axes": {"mac_per_sm": [1, 2], "mem_bw": [1, 2]},
+	  "target": 1.5
+	}`},
+}
+
+// TestV1GoldenParity asserts every pinned /v1 response is byte-identical to
+// its golden capture.
+func TestV1GoldenParity(t *testing.T) {
+	ts := testServer(t)
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, body %s", resp.StatusCode, got)
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("response diverged from golden %s:\ngot:  %s\nwant: %s", path, got, want)
+			}
+		})
+	}
+}

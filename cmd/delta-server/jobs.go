@@ -1,0 +1,536 @@
+// The /v2 async job API: POST a declarative scenario, poll its status, or
+// stream its results over SSE as the pipeline produces them. Jobs live in
+// a bounded in-memory store with TTL eviction of finished entries, so a
+// long-running server cannot accumulate unbounded result sets.
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"delta"
+	"delta/internal/spec"
+)
+
+// Job store bounds (overridable via jobStoreConfig / server flags).
+const (
+	defaultMaxJobs = 64
+	defaultJobTTL  = 15 * time.Minute
+)
+
+type jobStatus string
+
+const (
+	jobRunning   jobStatus = "running"
+	jobDone      jobStatus = "done"
+	jobFailed    jobStatus = "failed"
+	jobCancelled jobStatus = "cancelled"
+)
+
+// jobStoreConfig bounds the store; zero values take the defaults.
+type jobStoreConfig struct {
+	MaxJobs int
+	TTL     time.Duration
+	now     func() time.Time // test hook
+}
+
+// jobStore is the bounded in-memory job registry.
+type jobStore struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	cfg  jobStoreConfig
+
+	// base is the server-lifetime context jobs run under, so shutdown
+	// cancels in-flight sweeps.
+	base   context.Context
+	cancel context.CancelFunc
+}
+
+func newJobStore(cfg jobStoreConfig) *jobStore {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = defaultMaxJobs
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = defaultJobTTL
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	base, cancel := context.WithCancel(context.Background())
+	return &jobStore{jobs: make(map[string]*job), cfg: cfg, base: base, cancel: cancel}
+}
+
+// Close cancels every running job (server shutdown).
+func (st *jobStore) Close() { st.cancel() }
+
+// job is one submitted scenario sweep. Immutable fields are set at submit;
+// the mutable tail is guarded by mu, with notify closed-and-replaced on
+// every append so SSE subscribers wake without polling.
+type job struct {
+	id      string
+	name    string
+	total   int
+	created time.Time
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	notify   chan struct{}
+	status   jobStatus
+	results  []pointResult
+	errMsg   string
+	finished time.Time
+}
+
+// pointResult is the rendered JSON shape of one streamed scenario point.
+type pointResult struct {
+	Index    int    `json:"index"`
+	Workload string `json:"workload"`
+	Device   string `json:"device"`
+	Batch    int    `json:"batch,omitempty"`
+	Model    string `json:"model,omitempty"`
+	Pass     string `json:"pass,omitempty"`
+	Kind     string `json:"kind"` // "analytic" | "sim"
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+
+	Error  string             `json:"error,omitempty"`
+	Result *estimateResponse  `json:"result,omitempty"`
+	Sim    []simLayerResponse `json:"sim,omitempty"`
+}
+
+// simLayerResponse is one simulated layer of a sim point.
+type simLayerResponse struct {
+	Name           string  `json:"name"`
+	L1Bytes        float64 `json:"l1_bytes"`
+	L2Bytes        float64 `json:"l2_bytes"`
+	DRAMBytes      float64 `json:"dram_bytes"`
+	DRAMWriteBytes float64 `json:"dram_write_bytes"`
+	L1Requests     uint64  `json:"l1_requests"`
+	SimulatedCTAs  int     `json:"simulated_ctas"`
+	TotalCTAs      int     `json:"total_ctas"`
+}
+
+// append records one streamed update and wakes SSE subscribers.
+func (j *job) append(r pointResult) {
+	j.mu.Lock()
+	j.results = append(j.results, r)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal status.
+func (j *job) finish(status jobStatus, errMsg string, at time.Time) {
+	j.mu.Lock()
+	if j.status == jobRunning {
+		j.status, j.errMsg, j.finished = status, errMsg, at
+	}
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// snapshot returns the job's state for status responses: results from
+// offset on, plus the channel to wait on for more.
+func (j *job) snapshot(offset int) (status jobStatus, errMsg string, results []pointResult, done int, more <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if offset < 0 || offset > len(j.results) {
+		offset = len(j.results)
+	}
+	return j.status, j.errMsg, append([]pointResult(nil), j.results[offset:]...), len(j.results), j.notify
+}
+
+var errStoreFull = errors.New("job store full (all slots running); retry later")
+
+// submit registers a job and returns it; the caller launches the sweep.
+// Finished jobs past TTL are evicted first, then the oldest finished job
+// if the store is still at capacity; a store full of running jobs rejects.
+func (st *jobStore) submit(name string, total int, cancel context.CancelFunc) (*job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.cfg.now()
+	st.evictLocked(now)
+	if len(st.jobs) >= st.cfg.MaxJobs {
+		return nil, errStoreFull
+	}
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		id: id, name: name, total: total, created: now,
+		cancel: cancel, status: jobRunning, notify: make(chan struct{}),
+	}
+	st.jobs[id] = j
+	return j, nil
+}
+
+// evictLocked drops finished jobs past TTL; if the store is still full it
+// drops the oldest finished jobs until a slot frees.
+func (st *jobStore) evictLocked(now time.Time) {
+	for id, j := range st.jobs {
+		j.mu.Lock()
+		expired := j.status != jobRunning && now.Sub(j.finished) > st.cfg.TTL
+		j.mu.Unlock()
+		if expired {
+			delete(st.jobs, id)
+		}
+	}
+	for len(st.jobs) >= st.cfg.MaxJobs {
+		oldestID := ""
+		var oldest time.Time
+		for id, j := range st.jobs {
+			j.mu.Lock()
+			fin, running := j.finished, j.status == jobRunning
+			j.mu.Unlock()
+			if running {
+				continue
+			}
+			if oldestID == "" || fin.Before(oldest) {
+				oldestID, oldest = id, fin
+			}
+		}
+		if oldestID == "" {
+			return // every slot is running; submit will reject
+		}
+		delete(st.jobs, oldestID)
+	}
+}
+
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+func (st *jobStore) remove(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if ok {
+		delete(st.jobs, id)
+	}
+	return j, ok
+}
+
+func (st *jobStore) list() []*job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		out = append(out, j)
+	}
+	// Deterministic listing order: newest first, id as tiebreak.
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].created.Equal(out[b].created) {
+			return out[a].created.After(out[b].created)
+		}
+		return out[a].id < out[b].id
+	})
+	return out
+}
+
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("generating job id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// --- HTTP layer ---
+
+// jobRequest is the POST /v2/jobs body: a scenario document plus an error
+// policy.
+type jobRequest struct {
+	Scenario json.RawMessage `json:"scenario"`
+
+	// ErrorPolicy is "fail_fast" (default) or "collect_partial".
+	ErrorPolicy string `json:"error_policy,omitempty"`
+}
+
+// jobSummary is the status shape of one job.
+type jobSummary struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Status   string `json:"status"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created"`
+	Finished string `json:"finished,omitempty"`
+
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// jobResponse is the GET /v2/jobs/{id} answer: the summary plus results.
+type jobResponse struct {
+	jobSummary
+	Results []pointResult `json:"results"`
+}
+
+func (j *job) summary() jobSummary {
+	// One lock acquisition, so a poll racing completion can't observe a
+	// mixed status/finished pair.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.summaryLocked()
+}
+
+func (j *job) summaryLocked() jobSummary {
+	s := jobSummary{
+		ID: j.id, Name: j.name, Status: string(j.status),
+		Done: len(j.results), Total: j.total, Error: j.errMsg,
+		Created:   j.created.UTC().Format(time.RFC3339),
+		StatusURL: "/v2/jobs/" + j.id,
+		EventsURL: "/v2/jobs/" + j.id + "/events",
+	}
+	if !j.finished.IsZero() {
+		s.Finished = j.finished.UTC().Format(time.RFC3339)
+	}
+	return s
+}
+
+// response snapshots the summary and the results consistently.
+func (j *job) response() jobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobResponse{
+		jobSummary: j.summaryLocked(),
+		Results:    append([]pointResult(nil), j.results...),
+	}
+}
+
+// handleJobSubmit answers POST /v2/jobs: decode + expand the scenario
+// synchronously (so malformed sweeps 400 immediately), then run it in the
+// background and answer 202 with the job's URLs.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		return
+	}
+	if len(req.Scenario) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing scenario"))
+		return
+	}
+	var policy delta.StreamErrorPolicy
+	switch req.ErrorPolicy {
+	case "", "fail_fast":
+		policy = delta.StreamFailFast
+	case "collect_partial":
+		policy = delta.StreamCollectPartial
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown error_policy %q (want fail_fast or collect_partial)", req.ErrorPolicy))
+		return
+	}
+	sc, err := spec.ReadScenario(bytes.NewReader(req.Scenario))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Reserve the store slot before spawning stream workers, so a full
+	// store rejects without burning any evaluation work.
+	ctx, cancel := context.WithCancel(s.jobs.base)
+	j, err := s.jobs.submit(sc.Name, sc.Size(), cancel)
+	if err != nil {
+		cancel()
+		status := http.StatusServiceUnavailable
+		if !errors.Is(err, errStoreFull) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	ch, err := s.p.Stream(ctx, sc, delta.WithStreamErrorPolicy(policy))
+	if err != nil {
+		// Expansion errors normally surface from ReadScenario above; if
+		// one slips through, release the slot and report it.
+		cancel()
+		s.jobs.remove(j.id)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	go s.runJob(ctx, j, ch, policy)
+	writeJSON(w, http.StatusAccepted, j.summary())
+}
+
+// runJob drains the stream into the job record.
+func (s *server) runJob(ctx context.Context, j *job, ch <-chan delta.StreamUpdate, policy delta.StreamErrorPolicy) {
+	defer j.cancel()
+	var firstErr error
+	n := 0
+	for upd := range ch {
+		n++
+		j.append(renderPoint(upd))
+		if upd.Err != nil && firstErr == nil {
+			firstErr = upd.Err
+		}
+	}
+	now := s.jobs.cfg.now()
+	switch {
+	case ctx.Err() != nil && n < j.total:
+		j.finish(jobCancelled, ctx.Err().Error(), now)
+	case firstErr != nil && policy == delta.StreamFailFast:
+		j.finish(jobFailed, firstErr.Error(), now)
+	default:
+		j.finish(jobDone, "", now)
+	}
+}
+
+// renderPoint converts a streamed update to its JSON shape.
+func renderPoint(upd delta.StreamUpdate) pointResult {
+	p := upd.Point
+	out := pointResult{
+		Index: p.Index, Workload: p.Workload, Device: p.Device.Name,
+		Batch: p.Batch, Model: p.Model, Pass: p.Pass,
+		Kind: "analytic", Done: upd.Done, Total: upd.Total,
+	}
+	if p.Sim != nil {
+		out.Kind = "sim"
+	}
+	if upd.Err != nil {
+		out.Error = upd.Err.Error()
+		return out
+	}
+	if p.Sim != nil {
+		for _, r := range upd.Sim {
+			out.Sim = append(out.Sim, simLayerResponse{
+				Name: r.Layer.Name, L1Bytes: r.L1Bytes, L2Bytes: r.L2Bytes,
+				DRAMBytes: r.DRAMBytes, DRAMWriteBytes: r.DRAMWriteBytes,
+				L1Requests:    r.L1Requests,
+				SimulatedCTAs: r.SimulatedCTAs, TotalCTAs: r.TotalCTAs,
+			})
+		}
+		return out
+	}
+	resp := renderNetwork(upd.Network, p.Net.Counts)
+	out.Result = &resp
+	return out
+}
+
+// handleJobList answers GET /v2/jobs with every live job's summary.
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	out := make([]jobSummary, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.summary())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// routeJob dispatches /v2/jobs/{id} and /v2/jobs/{id}/events.
+func (s *server) routeJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v2/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeError(w, http.StatusNotFound, errors.New("missing job id"))
+		return
+	}
+	switch sub {
+	case "":
+		methods{
+			http.MethodGet:    func(w http.ResponseWriter, r *http.Request) { s.handleJobGet(w, r, id) },
+			http.MethodDelete: func(w http.ResponseWriter, r *http.Request) { s.handleJobDelete(w, r, id) },
+		}.dispatch(w, r)
+	case "events":
+		methods{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) { s.handleJobEvents(w, r, id) },
+		}.dispatch(w, r)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job resource %q", sub))
+	}
+}
+
+// handleJobGet answers GET /v2/jobs/{id}: status, progress, and the
+// results streamed so far.
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request, id string) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.response())
+}
+
+// handleJobDelete cancels a running job (or discards a finished one).
+func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request, id string) {
+	j, ok := s.jobs.remove(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "deleted"})
+}
+
+// handleJobEvents answers GET /v2/jobs/{id}/events: a Server-Sent-Events
+// stream replaying the results so far, then following the sweep live. Each
+// result is one `event: result` frame; a terminal `event: done` frame
+// carries the final status.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request, id string) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	offset := 0
+	for {
+		status, errMsg, results, done, more := j.snapshot(offset)
+		for _, res := range results {
+			if err := writeSSE(w, "result", res); err != nil {
+				return
+			}
+		}
+		offset = done
+		flusher.Flush()
+		if status != jobRunning {
+			_ = writeSSE(w, "done", map[string]any{
+				"status": string(status), "done": done, "total": j.total, "error": errMsg,
+			})
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent-Events frame with a JSON payload.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, buf)
+	return err
+}

@@ -1,0 +1,446 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"delta"
+)
+
+// jobTestServer wires a server with a controllable job store.
+func jobTestServer(t *testing.T, cfg jobStoreConfig) (*httptest.Server, *jobStore) {
+	t.Helper()
+	st := newJobStore(cfg)
+	t.Cleanup(st.Close)
+	ts := httptest.NewServer(newServerWithJobs(delta.NewPipeline(), st))
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+// submitJob posts a scenario and decodes the 202 summary.
+func submitJob(t *testing.T, ts *httptest.Server, body string) jobSummary {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/v2/jobs", body, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var sum jobSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// pollJob polls until the job leaves the running state.
+func pollJob(t *testing.T, ts *httptest.Server, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var jr jobResponse
+		resp := postGet(t, ts.URL+"/v2/jobs/"+id, &jr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status = %d", resp.StatusCode)
+		}
+		if jr.Status != string(jobRunning) {
+			return jr
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job did not finish")
+	return jobResponse{}
+}
+
+func postGet(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+const multiAxisJob = `{"scenario": {
+  "name": "acceptance",
+  "workloads": [{"network": "alexnet"}, {"network": "googlenet"}],
+  "devices": [{"name": "TITAN Xp"}, {"name": "V100"}],
+  "batches": [16],
+  "models": ["delta", "prior"]
+}}`
+
+// TestJobLifecycle submits the acceptance-criteria scenario (2 networks ×
+// 2 devices × 2 models), polls to completion, and checks ordering,
+// progress, and result contents.
+func TestJobLifecycle(t *testing.T) {
+	ts, _ := jobTestServer(t, jobStoreConfig{})
+	sum := submitJob(t, ts, multiAxisJob)
+	if sum.ID == "" || sum.Total != 8 || sum.Status != string(jobRunning) {
+		t.Fatalf("summary = %+v", sum)
+	}
+	jr := pollJob(t, ts, sum.ID)
+	if jr.Status != string(jobDone) {
+		t.Fatalf("status = %s (err %q)", jr.Status, jr.Error)
+	}
+	if jr.Done != 8 || len(jr.Results) != 8 {
+		t.Fatalf("done = %d, results = %d", jr.Done, len(jr.Results))
+	}
+	for i, res := range jr.Results {
+		if res.Index != i {
+			t.Errorf("result %d has index %d (out of order)", i, res.Index)
+		}
+		if res.Done != i+1 || res.Total != 8 {
+			t.Errorf("result %d progress = %d/%d", i, res.Done, res.Total)
+		}
+		if res.Error != "" || res.Result == nil || res.Result.TotalSeconds <= 0 {
+			t.Errorf("result %d missing payload: %+v", i, res)
+		}
+	}
+	// Spot-check v1/v2 parity: the (alexnet, delta, TITAN Xp) point must
+	// match the synchronous /v1/network answer field for field.
+	var v1 estimateResponse
+	resp := postJSON(t, ts.URL+"/v1/network", `{"network": "alexnet", "batch": 16, "device": "TITAN Xp"}`, &v1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 status = %d", resp.StatusCode)
+	}
+	v2 := jr.Results[0].Result
+	if v2.TotalSeconds != v1.TotalSeconds || len(v2.Layers) != len(v1.Layers) {
+		t.Errorf("v2 point diverges from v1: %v vs %v", v2.TotalSeconds, v1.TotalSeconds)
+	}
+	for i := range v1.Layers {
+		if v2.Layers[i] != v1.Layers[i] {
+			t.Errorf("layer %d: v2 %+v, v1 %+v", i, v2.Layers[i], v1.Layers[i])
+		}
+	}
+
+	// A second identical submission memo-hits: same results.
+	sum2 := submitJob(t, ts, multiAxisJob)
+	jr2 := pollJob(t, ts, sum2.ID)
+	if jr2.Status != string(jobDone) || len(jr2.Results) != 8 {
+		t.Fatalf("repeat job = %+v", jr2.jobSummary)
+	}
+	for i := range jr.Results {
+		if jr2.Results[i].Result.TotalSeconds != jr.Results[i].Result.TotalSeconds {
+			t.Errorf("repeat job result %d diverged", i)
+		}
+	}
+}
+
+// TestJobEventsSSE streams a job's results over SSE and checks frame
+// structure, ordering, and the terminal done event.
+func TestJobEventsSSE(t *testing.T) {
+	ts, _ := jobTestServer(t, jobStoreConfig{})
+	sum := submitJob(t, ts, multiAxisJob)
+
+	resp, err := http.Get(ts.URL + "/v2/jobs/" + sum.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var (
+		events  []string
+		datas   []string
+		scanner = bufio.NewScanner(resp.Body)
+	)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			datas = append(datas, strings.TrimPrefix(line, "data: "))
+		}
+		if len(events) > 0 && events[len(events)-1] == "done" && len(datas) == len(events) {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 9 { // 8 results + done
+		t.Fatalf("events = %v", events)
+	}
+	for i := 0; i < 8; i++ {
+		if events[i] != "result" {
+			t.Errorf("event %d = %q", i, events[i])
+		}
+		var res pointResult
+		if err := json.Unmarshal([]byte(datas[i]), &res); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if res.Index != i {
+			t.Errorf("frame %d has index %d (out of order)", i, res.Index)
+		}
+	}
+	var done struct {
+		Status string `json:"status"`
+		Done   int    `json:"done"`
+		Total  int    `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(datas[8]), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != "done" || done.Done != 8 || done.Total != 8 {
+		t.Errorf("done frame = %+v", done)
+	}
+}
+
+// TestJobCollectPartial: a sweep with one failing point finishes done
+// under collect_partial, with the failure recorded per point.
+func TestJobCollectPartial(t *testing.T) {
+	ts, _ := jobTestServer(t, jobStoreConfig{})
+	body := `{"error_policy": "collect_partial", "scenario": {
+	  "workloads": [
+	    {"name": "bad", "layers": [
+	      {"name": "ok", "ci": 8, "hi": 12, "co": 8, "hf": 3, "pad": 1, "b": 4},
+	      {"name": "rect", "ci": 8, "hi": 12, "wi": 12, "co": 8, "hf": 3, "wf": 5, "pad": 2, "b": 4}
+	    ]},
+	    {"network": "alexnet"}
+	  ],
+	  "batches": [8],
+	  "passes": ["training"]
+	}}`
+	sum := submitJob(t, ts, body)
+	jr := pollJob(t, ts, sum.ID)
+	if jr.Status != string(jobDone) {
+		t.Fatalf("status = %s (%s)", jr.Status, jr.Error)
+	}
+	if len(jr.Results) != 2 {
+		t.Fatalf("results = %d", len(jr.Results))
+	}
+	if jr.Results[0].Error == "" || jr.Results[1].Error != "" {
+		t.Errorf("per-point errors = %q, %q", jr.Results[0].Error, jr.Results[1].Error)
+	}
+}
+
+// TestJobFailFast: the same sweep under the default policy fails the job.
+func TestJobFailFast(t *testing.T) {
+	ts, _ := jobTestServer(t, jobStoreConfig{})
+	body := `{"scenario": {
+	  "workloads": [
+	    {"name": "bad", "layers": [
+	      {"name": "ok", "ci": 8, "hi": 12, "co": 8, "hf": 3, "pad": 1, "b": 4},
+	      {"name": "rect", "ci": 8, "hi": 12, "wi": 12, "co": 8, "hf": 3, "wf": 5, "pad": 2, "b": 4}
+	    ]},
+	    {"network": "alexnet"}
+	  ],
+	  "batches": [8],
+	  "passes": ["training"]
+	}}`
+	sum := submitJob(t, ts, body)
+	jr := pollJob(t, ts, sum.ID)
+	if jr.Status != string(jobFailed) || !strings.Contains(jr.Error, "non-square") {
+		t.Fatalf("status = %s, err = %q", jr.Status, jr.Error)
+	}
+	if len(jr.Results) != 1 {
+		t.Errorf("fail-fast stored %d results", len(jr.Results))
+	}
+}
+
+// TestJobSimScenario runs a simulation sweep through /v2.
+func TestJobSimScenario(t *testing.T) {
+	ts, _ := jobTestServer(t, jobStoreConfig{})
+	body := `{"scenario": {
+	  "workloads": [{"name": "mini", "layers": [{"ci": 8, "hi": 8, "co": 16, "hf": 3, "pad": 1, "b": 1}]}],
+	  "sim_configs": [{"max_waves": 1}]
+	}}`
+	sum := submitJob(t, ts, body)
+	jr := pollJob(t, ts, sum.ID)
+	if jr.Status != string(jobDone) || len(jr.Results) != 1 {
+		t.Fatalf("job = %+v", jr.jobSummary)
+	}
+	res := jr.Results[0]
+	if res.Kind != "sim" || len(res.Sim) != 1 || res.Sim[0].DRAMBytes <= 0 {
+		t.Errorf("sim result = %+v", res)
+	}
+}
+
+// TestJobBadRequests covers the submission rejection paths.
+func TestJobBadRequests(t *testing.T) {
+	ts, _ := jobTestServer(t, jobStoreConfig{})
+	cases := []struct{ body, want string }{
+		{`{`, "parsing request"},
+		{`{}`, "missing scenario"},
+		{`{"scenario": {"workloads": []}}`, "no workloads"},
+		{`{"scenario": {"workloads": [{"network": "skynet"}]}}`, "skynet"},
+		{`{"scenario": {"workloads": [{"network": "alexnet"}]}, "error_policy": "explode"}`, "error_policy"},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v2/jobs", tc.body, nil)
+		var e errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%q: %v", tc.body, err)
+		}
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(e.Error, tc.want) {
+			t.Errorf("%q: status %d, err %q (want %q)", tc.body, resp.StatusCode, e.Error, tc.want)
+		}
+	}
+	resp := postGet(t, ts.URL+"/v2/jobs/nope", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET missing job: status %d", resp.StatusCode)
+	}
+	resp = postGet(t, ts.URL+"/v2/jobs/nope/bogus", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET bogus resource: status %d", resp.StatusCode)
+	}
+}
+
+// TestJobDeleteCancels: DELETE removes the job and cancels its context.
+func TestJobDeleteCancels(t *testing.T) {
+	ts, st := jobTestServer(t, jobStoreConfig{})
+	sum := submitJob(t, ts, multiAxisJob)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v2/jobs/"+sum.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if _, ok := st.get(sum.ID); ok {
+		t.Error("job still stored after delete")
+	}
+	resp2 := postGet(t, ts.URL+"/v2/jobs/"+sum.ID, nil)
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted job still answers %d", resp2.StatusCode)
+	}
+}
+
+// TestJobStoreBounds: the store evicts finished jobs past TTL, evicts the
+// oldest finished job at capacity, and rejects when every slot is running.
+func TestJobStoreBounds(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cfg := jobStoreConfig{MaxJobs: 2, TTL: time.Minute, now: func() time.Time { return now }}
+	st := newJobStore(cfg)
+	defer st.Close()
+
+	j1, err := st.submit("a", 1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.finish(jobDone, "", now)
+	j2, err := st.submit("b", 1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Store full, j1 finished: a third submit evicts j1.
+	j3, err := st.submit("c", 1, func() {})
+	if err != nil {
+		t.Fatalf("submit at capacity with evictable job: %v", err)
+	}
+	if _, ok := st.get(j1.id); ok {
+		t.Error("oldest finished job not evicted at capacity")
+	}
+
+	// Both running: reject.
+	if _, err := st.submit("d", 1, func() {}); err == nil {
+		t.Error("submit with all slots running should fail")
+	}
+
+	// TTL expiry: finish both, advance past TTL, submit sweeps them out.
+	j2.finish(jobDone, "", now)
+	j3.finish(jobFailed, "boom", now)
+	now = now.Add(2 * time.Minute)
+	if _, err := st.submit("e", 1, func() {}); err != nil {
+		t.Fatalf("submit after TTL: %v", err)
+	}
+	if _, ok := st.get(j2.id); ok {
+		t.Error("TTL-expired job still stored")
+	}
+	if _, ok := st.get(j3.id); ok {
+		t.Error("TTL-expired failed job still stored")
+	}
+}
+
+// TestJobStoreShutdown: closing the store cancels running jobs' contexts.
+func TestJobStoreShutdown(t *testing.T) {
+	st := newJobStore(jobStoreConfig{})
+	ctx, cancel := context.WithCancel(st.base)
+	defer cancel()
+	st.Close()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Error("store close did not cancel job context")
+	}
+}
+
+// TestMethodNotAllowed: every endpoint answers wrong methods with a JSON
+// 405 naming the allowed set in the Allow header.
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := jobTestServer(t, jobStoreConfig{})
+	sum := submitJob(t, ts, multiAxisJob)
+	cases := []struct {
+		method, path string
+		wantAllow    string
+	}{
+		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodDelete, "/healthz", "GET"},
+		{http.MethodPost, "/v1/devices", "GET"},
+		{http.MethodPost, "/v1/networks", "GET"},
+		{http.MethodGet, "/v1/estimate", "POST"},
+		{http.MethodPut, "/v1/estimate", "POST"},
+		{http.MethodGet, "/v1/network", "POST"},
+		{http.MethodGet, "/v1/explore", "POST"},
+		{http.MethodDelete, "/v2/jobs", "GET, POST"},
+		{http.MethodPost, "/v2/jobs/" + sum.ID, "DELETE, GET"},
+		{http.MethodPost, "/v2/jobs/" + sum.ID + "/events", "GET"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+			continue
+		}
+		if got := resp.Header.Get("Allow"); got != tc.wantAllow {
+			t.Errorf("%s %s: Allow = %q, want %q", tc.method, tc.path, got, tc.wantAllow)
+		}
+		if decErr != nil || e.Error == "" {
+			t.Errorf("%s %s: 405 body malformed (%v)", tc.method, tc.path, decErr)
+		}
+	}
+}
+
+// TestOversizeBodyRejected: every body-reading endpoint rejects payloads
+// over the request cap instead of buffering them.
+func TestOversizeBodyRejected(t *testing.T) {
+	ts, _ := jobTestServer(t, jobStoreConfig{})
+	huge := fmt.Sprintf(`{"network": "alexnet", "batch": 16, "device": %q}`,
+		strings.Repeat("x", maxBodyBytes+1024))
+	for _, path := range []string{"/v1/estimate", "/v1/network", "/v1/explore", "/v2/jobs"} {
+		resp := postJSON(t, ts.URL+path, huge, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s oversize: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 // notebooks, or dashboards. All requests share one concurrent, memoizing
 // pipeline, so repeated layers and grid re-evaluations are computed once.
 //
-// Endpoints:
+// Synchronous endpoints (adapters over the scenario path):
 //
 //	GET  /healthz      liveness + cache counters
 //	GET  /v1/devices   resolvable device names
@@ -12,10 +12,22 @@
 //	POST /v1/network   evaluate a registered network by name
 //	POST /v1/explore   price + evaluate a design-space grid
 //
+// Asynchronous scenario jobs (declarative multi-axis sweeps):
+//
+//	POST   /v2/jobs             submit a scenario; answers 202 + job id
+//	GET    /v2/jobs             list jobs
+//	GET    /v2/jobs/{id}        status, progress, results so far
+//	GET    /v2/jobs/{id}/events stream results via Server-Sent Events
+//	DELETE /v2/jobs/{id}        cancel / discard a job
+//
 // Example:
 //
 //	delta-server -addr :8080 &
 //	curl -s localhost:8080/v1/network -d '{"network": "resnet152", "device": "V100"}'
+//	curl -s localhost:8080/v2/jobs -d '{"scenario": {
+//	  "workloads": [{"network": "alexnet"}, {"network": "vgg16"}],
+//	  "devices": [{"name": "TITAN Xp"}, {"name": "V100"}],
+//	  "models": ["delta", "prior"], "batches": [32]}}'
 package main
 
 import (
@@ -37,13 +49,17 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS)")
+		maxJobs = flag.Int("max-jobs", 0, "bound on stored /v2 jobs (0 = default)")
+		jobTTL  = flag.Duration("job-ttl", 0, "retention of finished /v2 jobs (0 = default)")
 	)
 	flag.Parse()
 
 	p := delta.NewPipeline(delta.WithPipelineWorkers(*workers))
+	jobs := newJobStore(jobStoreConfig{MaxJobs: *maxJobs, TTL: *jobTTL})
+	defer jobs.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(p),
+		Handler:           newServerWithJobs(p, jobs),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -62,6 +78,10 @@ func main() {
 		}
 	case <-ctx.Done():
 		log.Print("delta-server: shutting down")
+		// Cancel running jobs first: SSE subscribers blocked on a job's
+		// next result are woken by the job finishing as cancelled, so
+		// Shutdown's wait for open connections can complete.
+		jobs.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,5 +1,8 @@
 // HTTP handlers: a thin JSON codec layer over the shared evaluation
-// pipeline, reusing internal/spec for layer-list and device payloads.
+// pipeline, reusing internal/spec for layer-list, device, and scenario
+// payloads. The /v1 endpoints are synchronous adapters over the scenario
+// path (one-point scenarios streamed to completion); /v2 exposes the full
+// declarative sweep shape as asynchronous jobs (see jobs.go).
 package main
 
 import (
@@ -9,31 +12,63 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 
 	"delta"
 	"delta/internal/spec"
 )
 
-// maxBodyBytes bounds request bodies; layer lists are small.
+// maxBodyBytes bounds request bodies; layer lists and scenarios are small.
 const maxBodyBytes = 1 << 20
 
 // server routes requests into one shared pipeline, so concurrent clients
 // share the worker pool and the memo cache.
 type server struct {
-	p *delta.Pipeline
+	p    *delta.Pipeline
+	jobs *jobStore
 }
 
 // newServer returns the delta-server HTTP handler.
 func newServer(p *delta.Pipeline) http.Handler {
-	s := &server{p: p}
+	return newServerWithJobs(p, newJobStore(jobStoreConfig{}))
+}
+
+func newServerWithJobs(p *delta.Pipeline, jobs *jobStore) http.Handler {
+	s := &server{p: p, jobs: jobs}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/devices", s.handleDevices)
-	mux.HandleFunc("/v1/networks", s.handleNetworks)
-	mux.HandleFunc("/v1/estimate", s.handleEstimate)
-	mux.HandleFunc("/v1/network", s.handleNetwork)
-	mux.HandleFunc("/v1/explore", s.handleExplore)
+	mux.HandleFunc("/healthz", methods{http.MethodGet: s.handleHealth}.dispatch)
+	mux.HandleFunc("/v1/devices", methods{http.MethodGet: s.handleDevices}.dispatch)
+	mux.HandleFunc("/v1/networks", methods{http.MethodGet: s.handleNetworks}.dispatch)
+	mux.HandleFunc("/v1/estimate", methods{http.MethodPost: s.handleEstimate}.dispatch)
+	mux.HandleFunc("/v1/network", methods{http.MethodPost: s.handleNetwork}.dispatch)
+	mux.HandleFunc("/v1/explore", methods{http.MethodPost: s.handleExplore}.dispatch)
+	mux.HandleFunc("/v2/jobs", methods{
+		http.MethodPost: s.handleJobSubmit,
+		http.MethodGet:  s.handleJobList,
+	}.dispatch)
+	mux.HandleFunc("/v2/jobs/", s.routeJob)
 	return mux
+}
+
+// methods dispatches one route by HTTP method, answering every unlisted
+// method with a JSON 405 that names the allowed set in the Allow header
+// (the consistent rejection shape every endpoint shares).
+type methods map[string]http.HandlerFunc
+
+func (m methods) dispatch(w http.ResponseWriter, r *http.Request) {
+	if h, ok := m[r.Method]; ok {
+		h(w, r)
+		return
+	}
+	allowed := make([]string, 0, len(m))
+	for meth := range m {
+		allowed = append(allowed, meth)
+	}
+	sort.Strings(allowed)
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	writeError(w, http.StatusMethodNotAllowed,
+		fmt.Errorf("method %s not allowed (allow: %s)", r.Method, strings.Join(allowed, ", ")))
 }
 
 // estimateRequest is the JSON shape of /v1/estimate and /v1/network.
@@ -202,18 +237,10 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDevices(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string][]string{"devices": delta.DeviceNames()})
 }
 
 func (s *server) handleNetworks(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string][]string{"networks": delta.NetworkNames()})
 }
 
@@ -227,11 +254,11 @@ func (s *server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	s.estimate(w, r, true)
 }
 
+// estimate answers the synchronous /v1 shapes by wrapping the request as a
+// one-point scenario and streaming it to completion — the same path /v2
+// jobs take, so the two APIs cannot drift. Responses are byte-identical to
+// the pre-scenario implementation (asserted by the golden-parity tests).
 func (s *server) estimate(w http.ResponseWriter, r *http.Request, named bool) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-		return
-	}
 	var req estimateRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
@@ -255,23 +282,45 @@ func (s *server) estimate(w http.ResponseWriter, r *http.Request, named bool) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	nr, err := s.p.Network(r.Context(), delta.NetworkEvalRequest{
-		Net: net, Device: dev, Options: req.Options.toModel(),
-		Model: delta.EvalModel(req.Model), Pass: delta.EvalPass(req.Pass),
-		MissRate: req.MissRate,
-	})
+	model := orDefault(req.Model, delta.ScenarioModelDelta)
+	// Mirror the pre-scenario pipeline semantics: miss_rate only
+	// parameterizes the prior model and is ignored (not validated)
+	// otherwise.
+	missRate := 0.0
+	if model == delta.ScenarioModelPrior {
+		missRate = req.MissRate
+	}
+	sc := delta.Scenario{
+		Name:      net.Name,
+		Workloads: []delta.ScenarioWorkload{{Net: net}},
+		Devices:   []delta.GPU{dev},
+		Models:    []string{model},
+		Passes:    []string{orDefault(req.Pass, delta.ScenarioPassInference)},
+		MissRate:  missRate,
+		Options:   []delta.TrafficOptions{req.Options.toModel()},
+	}
+	upds, err := s.p.RunScenario(r.Context(), sc)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	writeJSON(w, http.StatusOK, renderNetwork(upds[0].Network, net.Counts))
+}
 
+// renderNetwork converts a whole-network result into the /v1 (and /v2
+// per-point) response shape. A nil counts vector means all ones.
+func renderNetwork(nr delta.NetworkEvalResult, counts []int) estimateResponse {
 	resp := estimateResponse{
-		Network: net.Name, Device: dev.Name,
+		Network: nr.Net, Device: nr.Device,
 		Model: string(nr.Model), Pass: string(nr.Pass),
 		TotalSeconds: nr.Seconds,
 	}
 	for i, res := range nr.Results {
-		row := layerResponse{Name: res.Layer.Name, Count: net.Counts[i], Seconds: res.Seconds}
+		count := 1
+		if counts != nil {
+			count = counts[i]
+		}
+		row := layerResponse{Name: res.Layer.Name, Count: count, Seconds: res.Seconds}
 		switch {
 		case res.Pass == delta.PassTraining:
 			row.FpropSeconds = res.Training.Fprop.Seconds
@@ -299,15 +348,20 @@ func (s *server) estimate(w http.ResponseWriter, r *http.Request, named bool) {
 			resp.Bottlenecks[b.String()] = c
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 // handleExplore answers POST /v1/explore: a priced design-space sweep.
+// The pipeline's Explore is itself a scenario adapter (one workload across
+// the base + scaled device axis), so this endpoint rides the same path.
 func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-		return
-	}
 	var req exploreRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))

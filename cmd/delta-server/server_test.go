@@ -264,6 +264,27 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestMissRateIgnoredForNonPrior pins the pre-scenario /v1 semantics: the
+// miss_rate field only parameterizes the prior model and is ignored (not
+// validated) for every other model.
+func TestMissRateIgnoredForNonPrior(t *testing.T) {
+	ts := testServer(t)
+	var got estimateResponse
+	resp := postJSON(t, ts.URL+"/v1/network", `{"network": "alexnet", "batch": 16, "miss_rate": 2.0}`, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta-model request with out-of-range miss_rate: status %d, want 200", resp.StatusCode)
+	}
+	var want estimateResponse
+	postJSON(t, ts.URL+"/v1/network", `{"network": "alexnet", "batch": 16}`, &want)
+	if got.TotalSeconds != want.TotalSeconds {
+		t.Errorf("miss_rate changed a delta-model answer: %v vs %v", got.TotalSeconds, want.TotalSeconds)
+	}
+	resp = postJSON(t, ts.URL+"/v1/network", `{"network": "alexnet", "batch": 16, "model": "prior", "miss_rate": 2.0}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("prior-model request with out-of-range miss_rate: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestExploreRejectsModelFields: /v1/explore cannot honor model/pass/
 // miss_rate, so it must refuse them instead of silently running delta.
 func TestExploreRejectsModelFields(t *testing.T) {

@@ -8,6 +8,11 @@
 //	delta -gpu "TITAN Xp" -b 256 -ci 256 -hw 13 -co 384 -f 3 -s 1 -p 1
 //	delta -gpu V100 -net resnet152
 //	delta -net vgg16 -model prior -missrate 1.0
+//	delta -scenario sweep.json
+//
+// A -scenario file is a declarative multi-axis sweep (see internal/spec):
+// workloads × devices × batches × models × passes stream through the
+// pipeline, one result row per point as each completes.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 		netName  = flag.String("net", "", "predict a whole network: alexnet, vgg16, googlenet, resnet50, resnet152, resnet152full")
 		layersIn = flag.String("layers", "", "JSON layer-list file to model instead of -net (see internal/spec)")
 		devIn    = flag.String("device", "", "JSON device file overriding -gpu (see internal/spec)")
+		scenIn   = flag.String("scenario", "", "JSON scenario file: stream a declarative multi-axis sweep (see internal/spec)")
 		batch    = flag.Int("b", 256, "mini-batch size")
 		ci       = flag.Int("ci", 256, "input channels")
 		hw       = flag.Int("hw", 13, "input feature height/width")
@@ -44,6 +50,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *scenIn != "" {
+		runScenario(ctx, *scenIn, *csv)
+		return
+	}
 
 	dev, err := delta.DeviceByName(*gpuName)
 	if err != nil {
@@ -122,6 +133,73 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+}
+
+// runScenario streams a declarative sweep file, printing one row per
+// point as results arrive (progress on stderr, the table on stdout).
+func runScenario(ctx context.Context, path string, csv bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := spec.ReadScenario(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	ch, err := delta.Stream(ctx, sc, delta.WithStreamErrorPolicy(delta.StreamCollectPartial))
+	if err != nil {
+		fatal(err)
+	}
+	name := sc.Name
+	if name == "" {
+		name = path
+	}
+	t := report.NewTable(
+		fmt.Sprintf("scenario %s (%d points)", name, sc.Size()),
+		"workload", "device", "batch", "model", "pass", "ms", "status")
+	failed := 0
+	for upd := range ch {
+		p := upd.Point
+		fmt.Fprintf(os.Stderr, "delta: [%d/%d] %s\n", upd.Done, upd.Total, p)
+		model, pass := p.Model, p.Pass
+		if p.Sim != nil {
+			model, pass = "sim", "-"
+		}
+		batch := fmt.Sprintf("%d", p.Batch)
+		if p.Batch == 0 {
+			batch = "-" // explicit layer lists carry their own mini-batch
+		}
+		switch {
+		case upd.Err != nil:
+			failed++
+			t.AddRow(p.Workload, p.Device.Name, batch, model, pass, "-", upd.Err.Error())
+		case p.Sim != nil:
+			var dram float64
+			for _, r := range upd.Sim {
+				dram += r.DRAMBytes
+			}
+			t.AddRow(p.Workload, p.Device.Name, batch, model, pass,
+				report.Bytes(dram)+" DRAM", "ok")
+		default:
+			t.AddRow(p.Workload, p.Device.Name, batch, model, pass,
+				upd.Network.Seconds*1e3, "ok")
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		fatal(err)
+	}
+	if csv {
+		err = t.RenderCSV(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d scenario points failed", failed, sc.Size()))
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"delta/internal/pipeline"
 	"delta/internal/prior"
 	"delta/internal/roofline"
+	"delta/internal/scenario"
 	"delta/internal/sim/engine"
 	"delta/internal/sim/timing"
 	"delta/internal/tiling"
@@ -161,23 +162,32 @@ func Estimate(l Conv, d GPU, opt TrafficOptions) (PerfResult, error) {
 	return perf.ModelLayer(l, d, opt)
 }
 
-// EstimateAll evaluates a layer list through the shared pipeline: layers
-// fan out across the worker pool and repeated configurations are served
-// from the memo cache. Results are identical to the serial path.
-func EstimateAll(ls []Conv, d GPU, opt TrafficOptions) ([]PerfResult, error) {
-	reqs := make([]EvalRequest, len(ls))
-	for i, l := range ls {
-		reqs[i] = EvalRequest{Layer: l, Device: d, Options: opt}
+// EstimateAllContext evaluates a layer list through the shared pipeline as
+// a one-point scenario: layers fan out across the worker pool and repeated
+// configurations are served from the memo cache. Results are index-aligned
+// with the layers and identical to the serial path.
+func EstimateAllContext(ctx context.Context, ls []Conv, d GPU, opt TrafficOptions) ([]PerfResult, error) {
+	if len(ls) == 0 {
+		return nil, ctx.Err()
 	}
-	rs, err := DefaultPipeline().EvaluateAll(context.Background(), reqs)
+	net := Network{Name: "batch", Layers: ls}
+	upds, err := DefaultPipeline().RunScenario(ctx, scenario.Single(net, d, opt, "", "", 0))
 	if err != nil {
 		return nil, err
 	}
+	rs := upds[0].Network.Results
 	out := make([]PerfResult, len(rs))
 	for i, r := range rs {
 		out[i] = r.Perf
 	}
 	return out, nil
+}
+
+// EstimateAll evaluates a layer list through the shared pipeline.
+//
+// Deprecated: use EstimateAllContext, which honors cancellation.
+func EstimateAll(ls []Conv, d GPU, opt TrafficOptions) ([]PerfResult, error) {
+	return EstimateAllContext(context.Background(), ls, d, opt)
 }
 
 // NetworkTime sums layer times weighted by instance counts (nil = all 1).
@@ -211,18 +221,43 @@ func Simulate(l Conv, cfg SimConfig) (SimResult, error) {
 // under an engine configuration.
 type SimRequest = pipeline.SimRequest
 
-// SimulateAll runs a batch of simulations through the shared pipeline:
-// per-layer runs fan out across the worker pool and repeated (layer,
-// device, config) simulations are served from the memo cache. Results are
-// index-aligned with the requests and bit-identical to serial engine runs.
-func SimulateAll(reqs []SimRequest) ([]SimResult, error) {
-	return DefaultPipeline().SimulateAll(context.Background(), reqs)
+// SimulateAllContext runs a batch of simulations through the shared
+// pipeline: per-layer runs fan out across the worker pool and repeated
+// (layer, device, config) simulations are served from the memo cache.
+// Results are index-aligned with the requests and bit-identical to serial
+// engine runs. (Heterogeneous per-request configs do not form a
+// cross-product, so this is the one batch helper that bypasses the
+// scenario expansion and feeds the pipeline directly.)
+func SimulateAllContext(ctx context.Context, reqs []SimRequest) ([]SimResult, error) {
+	return DefaultPipeline().SimulateAll(ctx, reqs)
 }
 
-// SimulateLayers simulates each layer under one shared config through the
-// shared pipeline — the common experiment-driver shape.
+// SimulateAll runs a batch of simulations through the shared pipeline.
+//
+// Deprecated: use SimulateAllContext, which honors cancellation.
+func SimulateAll(reqs []SimRequest) ([]SimResult, error) {
+	return SimulateAllContext(context.Background(), reqs)
+}
+
+// SimulateLayersContext simulates each layer under one shared config as a
+// one-point scenario through the shared pipeline — the common
+// experiment-driver shape.
+func SimulateLayersContext(ctx context.Context, ls []Conv, cfg SimConfig) ([]SimResult, error) {
+	if len(ls) == 0 {
+		return nil, ctx.Err()
+	}
+	upds, err := DefaultPipeline().RunScenario(ctx, scenario.SingleSim(ls, cfg))
+	if err != nil {
+		return nil, err
+	}
+	return upds[0].Sim, nil
+}
+
+// SimulateLayers simulates each layer under one shared config.
+//
+// Deprecated: use SimulateLayersContext, which honors cancellation.
 func SimulateLayers(ls []Conv, cfg SimConfig) ([]SimResult, error) {
-	return DefaultPipeline().SimulateLayers(context.Background(), ls, cfg)
+	return SimulateLayersContext(context.Background(), ls, cfg)
 }
 
 // SimulateTiming runs the event-driven execution-time simulator on a
@@ -285,10 +320,29 @@ func EstimateTrainingStep(l Conv, d GPU, opt TrafficOptions, skipDgrad bool) (Tr
 	return backprop.ModelStep(l, d, opt, skipDgrad)
 }
 
-// EstimateNetworkTraining models a whole network's training-step time,
-// evaluating layers concurrently through the shared pipeline.
+// EstimateNetworkTrainingContext models a whole network's training-step
+// time as a one-point training-pass scenario, evaluating layers
+// concurrently through the shared pipeline.
+func EstimateNetworkTrainingContext(ctx context.Context, n Network, d GPU, opt TrafficOptions) ([]TrainingStep, float64, error) {
+	upds, err := DefaultPipeline().RunScenario(ctx,
+		scenario.Single(n, d, opt, scenario.ModelDelta, scenario.PassTraining, 0))
+	if err != nil {
+		return nil, 0, err
+	}
+	nr := upds[0].Network
+	steps := make([]TrainingStep, len(nr.Results))
+	for i, r := range nr.Results {
+		steps[i] = r.Training
+	}
+	return steps, nr.Seconds, nil
+}
+
+// EstimateNetworkTraining models a whole network's training-step time.
+//
+// Deprecated: use EstimateNetworkTrainingContext, which honors
+// cancellation.
 func EstimateNetworkTraining(n Network, d GPU, opt TrafficOptions) ([]TrainingStep, float64, error) {
-	return DefaultPipeline().Training(context.Background(), n, d, opt)
+	return EstimateNetworkTrainingContext(context.Background(), n, d, opt)
 }
 
 // Design-space exploration (see internal/explore): cost-priced resource
@@ -314,12 +368,19 @@ func DefaultCostModel() CostModel { return explore.DefaultCostModel() }
 // DefaultExploreAxes spans the neighborhood of the Fig. 16a options.
 func DefaultExploreAxes() ExploreAxes { return explore.DefaultAxes() }
 
+// ExploreContext prices and evaluates every scale in the grid on the
+// workload. The grid is expressed as a scenario (one workload × the base +
+// scaled device axis) streamed through the shared pipeline's worker pool;
+// candidates are identical to the serial evaluation.
+func ExploreContext(ctx context.Context, n Network, base GPU, axes ExploreAxes, cm CostModel) ([]ExploreCandidate, error) {
+	return DefaultPipeline().Explore(ctx, explore.Workload{Net: n}, base, axes.Enumerate(), cm)
+}
+
 // Explore prices and evaluates every scale in the grid on the workload.
-// The (candidates x layers) grid fans out across the shared pipeline's
-// worker pool; candidates are identical to the serial evaluation.
+//
+// Deprecated: use ExploreContext, which honors cancellation.
 func Explore(n Network, base GPU, axes ExploreAxes, cm CostModel) ([]ExploreCandidate, error) {
-	return DefaultPipeline().Explore(context.Background(),
-		explore.Workload{Net: n}, base, axes.Enumerate(), cm)
+	return ExploreContext(context.Background(), n, base, axes, cm)
 }
 
 // ParetoFront extracts the undominated (cost, speedup) candidates.
@@ -381,6 +442,66 @@ const (
 	PassInference = pipeline.PassInference
 	PassTraining  = pipeline.PassTraining
 )
+
+// Declarative scenarios (see internal/scenario): the one request shape
+// every sweep — grids of workloads × devices × batches × models × passes ×
+// traffic options, plus optional simulator configs — expands from. Build a
+// Scenario in Go (or decode one from JSON via internal/spec / the
+// delta-server /v2 jobs API) and stream it through the pipeline.
+type (
+	// Scenario is a declarative cross-product evaluation sweep.
+	Scenario = scenario.Scenario
+
+	// ScenarioWorkload names one workload-axis entry: a registered
+	// network name or an explicit layer list.
+	ScenarioWorkload = scenario.Workload
+
+	// ScenarioPoint is one expanded evaluation of a scenario.
+	ScenarioPoint = scenario.Point
+
+	// StreamUpdate is one incremental result of a scenario stream, with
+	// progress counts (Done/Total) and the point's result or error.
+	StreamUpdate = pipeline.StreamUpdate
+
+	// StreamOption configures Stream / RunScenario calls.
+	StreamOption = pipeline.StreamOption
+
+	// StreamErrorPolicy selects fail-fast or collect-partial sweeps.
+	StreamErrorPolicy = pipeline.ErrorPolicy
+)
+
+// Scenario model/pass axis values and stream error policies.
+const (
+	ScenarioModelDelta    = scenario.ModelDelta
+	ScenarioModelPrior    = scenario.ModelPrior
+	ScenarioModelRoofline = scenario.ModelRoofline
+
+	ScenarioPassInference = scenario.PassInference
+	ScenarioPassTraining  = scenario.PassTraining
+
+	StreamFailFast       = pipeline.FailFast
+	StreamCollectPartial = pipeline.CollectPartial
+)
+
+// WithStreamErrorPolicy selects a stream's error policy (default
+// StreamFailFast).
+func WithStreamErrorPolicy(p StreamErrorPolicy) StreamOption {
+	return pipeline.WithErrorPolicy(p)
+}
+
+// Stream expands a scenario and evaluates its points through the shared
+// pipeline — each point's layers fan out across the worker pool — emitting
+// one update per point in expansion order with progress counts. Cancel ctx
+// to abandon the stream early.
+func Stream(ctx context.Context, sc Scenario, opts ...StreamOption) (<-chan StreamUpdate, error) {
+	return DefaultPipeline().Stream(ctx, sc, opts...)
+}
+
+// RunScenario streams a scenario to completion and collects the ordered
+// updates.
+func RunScenario(ctx context.Context, sc Scenario, opts ...StreamOption) ([]StreamUpdate, error) {
+	return DefaultPipeline().RunScenario(ctx, sc, opts...)
+}
 
 // NewPipeline constructs a private evaluation pipeline. Most callers can
 // use DefaultPipeline; construct your own to bound the worker pool

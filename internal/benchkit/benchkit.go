@@ -19,6 +19,7 @@ import (
 	"delta/internal/gpu"
 	"delta/internal/layers"
 	"delta/internal/pipeline"
+	"delta/internal/scenario"
 	"delta/internal/sim/engine"
 )
 
@@ -71,6 +72,59 @@ func SuiteSerial(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(SuiteLayers())), "layers")
+}
+
+// ScenarioSweep returns the canonical scenario-throughput workload: a
+// multi-axis analytical sweep (2 networks × 2 devices × 3 models at B=32,
+// 12 whole-network points) — the declarative-API shape the /v2 jobs server
+// streams.
+func ScenarioSweep() scenario.Scenario {
+	return scenario.Scenario{
+		Name:      "bench",
+		Workloads: []scenario.Workload{{Name: "alexnet"}, {Name: "googlenet"}},
+		Devices:   []gpu.Device{gpu.TitanXp(), gpu.V100()},
+		Batches:   []int{32},
+		Models:    []string{scenario.ModelDelta, scenario.ModelPrior, scenario.ModelRoofline},
+	}
+}
+
+// scenarioStream is the shared body of the scenario-throughput pair: it
+// streams ScenarioSweep through the given pipeline per iteration and
+// reports end-to-end points/s, the Scenario-API overhead metric recorded
+// in BENCH_sim.json.
+func scenarioStream(b *testing.B, p *pipeline.Evaluator) {
+	b.ReportAllocs()
+	sc := ScenarioSweep()
+	points := 0
+	for i := 0; i < b.N; i++ {
+		upds, err := p.RunScenario(context.Background(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(upds) != sc.Size() {
+			b.Fatalf("streamed %d points, want %d", len(upds), sc.Size())
+		}
+		points += len(upds)
+	}
+	b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+}
+
+// ScenarioStream measures the cold path: a cacheless pipeline, so every
+// point's layers are really evaluated.
+func ScenarioStream(b *testing.B) {
+	scenarioStream(b, pipeline.New(pipeline.WithoutCache()))
+}
+
+// ScenarioStreamCached measures the steady-state serving shape: a warm
+// shared evaluator answering every point from the memo cache, isolating
+// pure expansion + ordering + streaming overhead.
+func ScenarioStreamCached(b *testing.B) {
+	p := pipeline.New()
+	if _, err := p.RunScenario(context.Background(), ScenarioSweep()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	scenarioStream(b, p)
 }
 
 // SuiteParallel is the body of the suite-level parallel run: the same

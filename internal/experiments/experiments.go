@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -50,16 +51,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Driver regenerates one paper artifact.
+// Driver regenerates one paper artifact. Run honors ctx cancellation:
+// sweeps and simulations stop early when the caller is interrupted.
 type Driver struct {
 	ID    string // "fig11", "tab1", ...
 	Title string
-	Run   func(Config) ([]*report.Table, error)
+	Run   func(context.Context, Config) ([]*report.Table, error)
 }
 
 var registry []Driver
 
-func register(id, title string, run func(Config) ([]*report.Table, error)) {
+func register(id, title string, run func(context.Context, Config) ([]*report.Table, error)) {
 	registry = append(registry, Driver{ID: id, Title: title, Run: run})
 }
 

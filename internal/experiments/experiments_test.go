@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -38,7 +39,7 @@ func TestAllDriversRunQuick(t *testing.T) {
 	for _, d := range Drivers() {
 		d := d
 		t.Run(d.ID, func(t *testing.T) {
-			tables, err := d.Run(quickCfg)
+			tables, err := d.Run(context.Background(), quickCfg)
 			if err != nil {
 				t.Fatalf("%s: %v", d.ID, err)
 			}
@@ -70,7 +71,7 @@ func TestDefaultConfig(t *testing.T) {
 }
 
 func TestFig16SpeedupsSane(t *testing.T) {
-	tables, err := ByIDMust("fig16").Run(quickCfg)
+	tables, err := ByIDMust("fig16").Run(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func init() {
 	register("explore", "Design-space Pareto frontier on ResNet152 (extension)", extExplore)
 }
 
-func extTrain(cfg Config) ([]*report.Table, error) {
+func extTrain(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	d := gpu.TitanXp()
 	var tables []*report.Table
@@ -32,7 +32,7 @@ func extTrain(cfg Config) ([]*report.Table, error) {
 	summary := report.NewTable("Training vs forward time per network (TITAN Xp, DeLTA predictions)",
 		"network", "forward ms", "training-step ms", "bwd/fwd")
 	for _, net := range nets {
-		steps, total, err := pipeline.Default().Training(context.Background(), net, d, traffic.Options{})
+		steps, total, err := pipeline.Default().Training(ctx, net, d, traffic.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +58,7 @@ func extTrain(cfg Config) ([]*report.Table, error) {
 	return append(tables, summary), nil
 }
 
-func extExplore(cfg Config) ([]*report.Table, error) {
+func extExplore(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	batch := cfg.Batch
 	if cfg.Quick {
@@ -69,7 +69,7 @@ func extExplore(cfg Config) ([]*report.Table, error) {
 	if cfg.Quick {
 		axes = explore.Axes{MACPerSM: []float64{1, 2}, MemBW: []float64{1, 2}}
 	}
-	cands, err := pipeline.Default().Explore(context.Background(),
+	cands, err := pipeline.Default().Explore(ctx,
 		w, gpu.TitanXp(), axes.Enumerate(), explore.DefaultCostModel())
 	if err != nil {
 		return nil, err

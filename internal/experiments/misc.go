@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"delta/internal/gpu"
@@ -10,13 +11,13 @@ import (
 
 func init() {
 	register("tab1", "GPU device specifications (Table I)", tab1)
-	register("fig6", "Profiled CTA tile width by output channel count", func(Config) ([]*report.Table, error) {
+	register("fig6", "Profiled CTA tile width by output channel count", func(context.Context, Config) ([]*report.Table, error) {
 		return []*report.Table{fig6Table()}, nil
 	})
 	register("fig18", "DRAM latency vs effective bandwidth micro-benchmark", fig18)
 }
 
-func tab1(Config) ([]*report.Table, error) {
+func tab1(context.Context, Config) ([]*report.Table, error) {
 	t := report.NewTable("Table I — GPU device specifications",
 		"spec", "TITAN Xp", "P100", "V100")
 	devs := gpu.All()
@@ -37,7 +38,7 @@ func tab1(Config) ([]*report.Table, error) {
 	return []*report.Table{t}, nil
 }
 
-func fig18(cfg Config) ([]*report.Table, error) {
+func fig18(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	requests := 20000
 	if cfg.Quick {
@@ -45,6 +46,9 @@ func fig18(cfg Config) ([]*report.Table, error) {
 	}
 	var tables []*report.Table
 	for _, d := range gpu.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pts, err := microbench.Sweep(d, microbench.DefaultFractions(), requests)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"delta/internal/cnn"
@@ -14,11 +15,11 @@ import (
 )
 
 func init() {
-	register("fig13", "Conv-layer execution time and bottlenecks, TITAN Xp", func(c Config) ([]*report.Table, error) {
-		return perfFigure(c, gpu.TitanXp(), "Fig. 13")
+	register("fig13", "Conv-layer execution time and bottlenecks, TITAN Xp", func(ctx context.Context, c Config) ([]*report.Table, error) {
+		return perfFigure(ctx, c, gpu.TitanXp(), "Fig. 13")
 	})
-	register("fig14", "Conv-layer execution time and bottlenecks, V100", func(c Config) ([]*report.Table, error) {
-		return perfFigure(c, gpu.V100(), "Fig. 14")
+	register("fig14", "Conv-layer execution time and bottlenecks, V100", func(ctx context.Context, c Config) ([]*report.Table, error) {
+		return perfFigure(ctx, c, gpu.V100(), "Fig. 14")
 	})
 	register("fig15", "Execution-time estimate distributions: devices and prior models", fig15)
 	register("fig19", "Absolute execution cycles per CNN, TITAN Xp", fig19)
@@ -32,13 +33,16 @@ type perfPair struct {
 	sim   timing.Result
 }
 
-func runPerfPairs(cfg Config, d gpu.Device) ([]perfPair, error) {
+func runPerfPairs(ctx context.Context, cfg Config, d gpu.Device) ([]perfPair, error) {
 	ls := cnn.AllUniqueLayers(cfg.TimingBatch)
 	if cfg.Quick {
 		ls = ls[:6]
 	}
 	out := make([]perfPair, 0, len(ls))
 	for _, l := range ls {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e, err := traffic.Model(l, d, traffic.Options{})
 		if err != nil {
 			return nil, err
@@ -58,9 +62,9 @@ func runPerfPairs(cfg Config, d gpu.Device) ([]perfPair, error) {
 
 // perfFigure reproduces Fig. 13/14: per-layer model/simulated time ratios
 // and the model's named bottleneck.
-func perfFigure(cfg Config, d gpu.Device, figName string) ([]*report.Table, error) {
+func perfFigure(ctx context.Context, cfg Config, d gpu.Device, figName string) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
-	pairs, err := runPerfPairs(cfg, d)
+	pairs, err := runPerfPairs(ctx, cfg, d)
 	if err != nil {
 		return nil, err
 	}
@@ -91,13 +95,13 @@ func perfFigure(cfg Config, d gpu.Device, figName string) ([]*report.Table, erro
 
 // fig15 summarizes estimate distributions: (a) DeLTA across the three GPUs,
 // (b) DeLTA vs the fixed-miss-rate prior models on TITAN Xp.
-func fig15(cfg Config) ([]*report.Table, error) {
+func fig15(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 
 	ta := report.NewTable("Fig. 15a — model/simulator execution-time distribution per device",
 		"device", "min", "median", "max", "geomean", "stdev")
 	for _, d := range gpu.All() {
-		pairs, err := runPerfPairs(cfg, d)
+		pairs, err := runPerfPairs(ctx, cfg, d)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +117,7 @@ func fig15(cfg Config) ([]*report.Table, error) {
 	}
 
 	d := gpu.TitanXp()
-	pairs, err := runPerfPairs(cfg, d)
+	pairs, err := runPerfPairs(ctx, cfg, d)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +150,7 @@ func fig15(cfg Config) ([]*report.Table, error) {
 }
 
 // fig19 reports absolute execution cycles per network, model vs simulator.
-func fig19(cfg Config) ([]*report.Table, error) {
+func fig19(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	d := gpu.TitanXp()
 	var tables []*report.Table
@@ -163,6 +167,9 @@ func fig19(cfg Config) ([]*report.Table, error) {
 			ls = ls[:4]
 		}
 		for _, l := range ls {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			e, err := traffic.Model(l, d, traffic.Options{})
 			if err != nil {
 				return nil, err

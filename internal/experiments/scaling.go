@@ -19,8 +19,8 @@ func init() {
 // resnetTime evaluates the full ResNet152 forward time and bottleneck
 // distribution on one device, with an optional CTA-tile override. Layers
 // run concurrently through the shared pipeline.
-func resnetTime(net cnn.Network, d gpu.Device, tileDim int) (float64, map[perf.Bottleneck]int, error) {
-	nr, err := pipeline.Default().Network(context.Background(), pipeline.NetworkRequest{
+func resnetTime(ctx context.Context, net cnn.Network, d gpu.Device, tileDim int) (float64, map[perf.Bottleneck]int, error) {
+	nr, err := pipeline.Default().Network(ctx, pipeline.NetworkRequest{
 		Net: net, Device: d, Options: traffic.Options{TileOverride: tileDim},
 	})
 	if err != nil {
@@ -32,7 +32,7 @@ func resnetTime(net cnn.Network, d gpu.Device, tileDim int) (float64, map[perf.B
 // fig16 reproduces the scaling study: the nine design options of Fig. 16a
 // applied to the TITAN Xp baseline, with speedups (Fig. 16b) and
 // bottleneck distributions (Fig. 16c) over all conv layers of ResNet152.
-func fig16(cfg Config) ([]*report.Table, error) {
+func fig16(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	batch := cfg.Batch
 	if cfg.Quick {
@@ -41,7 +41,7 @@ func fig16(cfg Config) ([]*report.Table, error) {
 	net := cnn.ResNet152Full(batch)
 	base := gpu.TitanXp()
 
-	baseTime, baseHist, err := resnetTime(net, base, 0)
+	baseTime, baseHist, err := resnetTime(ctx, net, base, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +69,7 @@ func fig16(cfg Config) ([]*report.Table, error) {
 
 	for _, opt := range gpu.DesignOptions() {
 		d := opt.Scale.Apply(base)
-		t, h, err := resnetTime(net, d, opt.Scale.CTATileDim)
+		t, h, err := resnetTime(ctx, net, d, opt.Scale.CTATileDim)
 		if err != nil {
 			return nil, err
 		}

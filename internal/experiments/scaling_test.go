@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"delta/internal/cnn"
@@ -21,7 +22,7 @@ import (
 func TestFig16ShapeMatchesPaper(t *testing.T) {
 	net := cnn.ResNet152Full(256)
 	base := gpu.TitanXp()
-	baseTime, baseHist, err := resnetTime(net, base, 0)
+	baseTime, baseHist, err := resnetTime(context.Background(), net, base, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestFig16ShapeMatchesPaper(t *testing.T) {
 	speedup := make(map[int]float64)
 	hists := make(map[int]map[perf.Bottleneck]int)
 	for _, opt := range gpu.DesignOptions() {
-		tm, h, err := resnetTime(net, opt.Scale.Apply(base), opt.Scale.CTATileDim)
+		tm, h, err := resnetTime(context.Background(), net, opt.Scale.Apply(base), opt.Scale.CTATileDim)
 		if err != nil {
 			t.Fatal(err)
 		}

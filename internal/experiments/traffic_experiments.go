@@ -32,21 +32,20 @@ type trafficPair struct {
 	sim   engine.Result
 }
 
-func runTrafficPairs(ls []layers.Conv, d gpu.Device, batch int) ([]trafficPair, error) {
+func runTrafficPairs(ctx context.Context, ls []layers.Conv, d gpu.Device, batch int) ([]trafficPair, error) {
 	withB := make([]layers.Conv, len(ls))
 	for i, l := range ls {
 		withB[i] = l.WithBatch(batch)
 	}
-	return pairLayers(withB, d)
+	return pairLayers(ctx, withB, d)
 }
 
 // pairLayers evaluates the analytical model and the trace-driven simulator
 // for every layer through the shared pipeline: per-layer simulations fan
 // out across the worker pool, and repeated (layer, device, config) runs —
 // common across figures — are served from the memo cache.
-func pairLayers(ls []layers.Conv, d gpu.Device) ([]trafficPair, error) {
+func pairLayers(ctx context.Context, ls []layers.Conv, d gpu.Device) ([]trafficPair, error) {
 	p := pipeline.Default()
-	ctx := context.Background()
 	ereqs := make([]pipeline.Request, len(ls))
 	for i, l := range ls {
 		ereqs[i] = pipeline.Request{Layer: l, Device: d}
@@ -68,7 +67,7 @@ func pairLayers(ls []layers.Conv, d gpu.Device) ([]trafficPair, error) {
 
 // fig4 simulates the GoogLeNet conv layers and reports their L1 and L2 miss
 // rates, reproducing the 13-50% / 8-90% spread that motivates the paper.
-func fig4(cfg Config) ([]*report.Table, error) {
+func fig4(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	net := cnn.GoogLeNet(cfg.SimBatch)
 	ls := net.Layers
@@ -77,7 +76,7 @@ func fig4(cfg Config) ([]*report.Table, error) {
 	}
 	t := report.NewTable("Fig. 4 — GoogLeNet conv-layer cache miss rates (simulated, TITAN Xp geometry)",
 		"layer", "L1 miss rate", "L2 miss rate")
-	rs, err := pipeline.Default().SimulateLayers(context.Background(), ls,
+	rs, err := pipeline.Default().SimulateLayers(ctx, ls,
 		engine.Config{Device: gpu.TitanXp()})
 	if err != nil {
 		return nil, err
@@ -97,7 +96,7 @@ func fig4(cfg Config) ([]*report.Table, error) {
 // fig11 is the headline traffic validation: model estimates normalized to
 // simulated measurements at every hierarchy level, for all unique layers of
 // the four CNNs, on all three GPUs, with GMAE and stdev summaries.
-func fig11(cfg Config) ([]*report.Table, error) {
+func fig11(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	ls := cnn.AllUniqueLayers(cfg.SimBatch)
 	if cfg.Quick {
@@ -105,7 +104,7 @@ func fig11(cfg Config) ([]*report.Table, error) {
 	}
 	var tables []*report.Table
 	for _, d := range gpu.All() {
-		pairs, err := runTrafficPairs(ls, d, cfg.SimBatch)
+		pairs, err := runTrafficPairs(ctx, ls, d, cfg.SimBatch)
 		if err != nil {
 			return nil, err
 		}
@@ -141,14 +140,14 @@ func addRatioSummary(t *report.Table, level string, ratios []float64) {
 
 // fig12 compares DeLTA's L2/DRAM traffic against the prior models'
 // miss-rate-1.0 assumption, both normalized to the simulator.
-func fig12(cfg Config) ([]*report.Table, error) {
+func fig12(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	ls := cnn.AllUniqueLayers(cfg.SimBatch)
 	if cfg.Quick {
 		ls = ls[:6]
 	}
 	d := gpu.TitanXp()
-	pairs, err := runTrafficPairs(ls, d, cfg.SimBatch)
+	pairs, err := runTrafficPairs(ctx, ls, d, cfg.SimBatch)
 	if err != nil {
 		return nil, err
 	}
@@ -178,14 +177,14 @@ func fig12(cfg Config) ([]*report.Table, error) {
 
 // fig17 sweeps the Appendix A artificial layer along each axis and reports
 // model/simulator traffic ratios per level.
-func fig17(cfg Config) ([]*report.Table, error) {
+func fig17(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	base := cnn.SensitivityBase(cfg.SimBatch)
 	d := gpu.TitanXp()
 
 	sweep := func(title string, ls []layers.Conv) (*report.Table, error) {
 		t := report.NewTable(title, "point", "L1 ratio", "L2 ratio", "DRAM ratio")
-		pairs, err := pairLayers(ls, d)
+		pairs, err := pairLayers(ctx, ls, d)
 		if err != nil {
 			return nil, err
 		}
@@ -263,13 +262,13 @@ func fig17(cfg Config) ([]*report.Table, error) {
 }
 
 // fig20 reports absolute traffic volumes side by side, model vs simulator.
-func fig20(cfg Config) ([]*report.Table, error) {
+func fig20(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	cfg = cfg.withDefaults()
 	ls := cnn.AllUniqueLayers(cfg.SimBatch)
 	if cfg.Quick {
 		ls = ls[:6]
 	}
-	pairs, err := runTrafficPairs(ls, gpu.TitanXp(), cfg.SimBatch)
+	pairs, err := runTrafficPairs(ctx, ls, gpu.TitanXp(), cfg.SimBatch)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"delta/internal/explore"
 	"delta/internal/gpu"
 	"delta/internal/perf"
+	"delta/internal/scenario"
 	"delta/internal/traffic"
 )
 
@@ -104,45 +105,35 @@ func (e *Evaluator) Training(ctx context.Context, net cnn.Network, d gpu.Device,
 }
 
 // Explore prices and times every candidate scale against the baseline,
-// returning candidates identical to the serial explore.Evaluate — but the
-// scales x layers grid fans out across the worker pool, and the memo cache
-// collapses the duplicate layer configurations design grids re-evaluate.
+// returning candidates identical to the serial explore.Evaluate. The grid
+// is expressed as a scenario — one workload across the base + scaled
+// device axis — and streamed through the pipeline, so the scales × layers
+// fan-out shares the worker pool and the memo cache collapses the
+// duplicate layer configurations design grids re-evaluate.
 func (e *Evaluator) Explore(ctx context.Context, w explore.Workload, base gpu.Device, scales []gpu.Scale, cm explore.CostModel) ([]explore.Candidate, error) {
 	if len(w.Net.Layers) == 0 {
 		return nil, fmt.Errorf("pipeline: explore workload %q has no layers", w.Net.Name)
 	}
-	layersN := len(w.Net.Layers)
 	devices := make([]gpu.Device, 0, 1+len(scales))
 	devices = append(devices, base)
 	for _, s := range scales {
 		devices = append(devices, s.Apply(base))
 	}
-	reqs := make([]Request, 0, len(devices)*layersN)
-	for _, d := range devices {
-		for _, l := range w.Net.Layers {
-			reqs = append(reqs, Request{Layer: l, Device: d, Options: w.Opt})
-		}
-	}
-	rs, err := e.EvaluateAll(ctx, reqs)
+	upds, err := e.RunScenario(ctx, scenario.Scenario{
+		Name:      "explore:" + w.Net.Name,
+		Workloads: []scenario.Workload{{Net: w.Net}},
+		Devices:   devices,
+		Options:   []traffic.Options{w.Opt},
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Aggregate in the serial order: per device, layer-order weighted sum.
-	netTime := func(di int) float64 {
-		var total float64
-		for li := 0; li < layersN; li++ {
-			c := 1
-			if w.Net.Counts != nil {
-				c = w.Net.Counts[li]
-			}
-			total += rs[di*layersN+li].Seconds * float64(c)
-		}
-		return total
-	}
-	baseTime := netTime(0)
+	// One update per device, in device-axis order; NetworkResult.Seconds
+	// is the layer-order weighted sum the serial path computes.
+	baseTime := upds[0].Network.Seconds
 	out := make([]explore.Candidate, 0, len(scales))
 	for si, s := range scales {
-		t := netTime(si + 1)
+		t := upds[si+1].Network.Seconds
 		out = append(out, explore.Candidate{Scale: s, Cost: cm.Cost(s), Speedup: baseTime / t})
 	}
 	return out, nil

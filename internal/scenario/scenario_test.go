@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"delta/internal/cnn"
+	"delta/internal/gpu"
+	"delta/internal/sim/engine"
+	"delta/internal/traffic"
+)
+
+// TestExpandMultiAxis checks the documented expansion order and the axis
+// coordinates of a dense grid.
+func TestExpandMultiAxis(t *testing.T) {
+	s := Scenario{
+		Name:      "grid",
+		Workloads: []Workload{{Name: "alexnet"}, {Name: "vgg16"}},
+		Devices:   []gpu.Device{gpu.TitanXp(), gpu.V100()},
+		Batches:   []int{16, 32},
+		Models:    []string{ModelDelta, ModelPrior},
+	}
+	pts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 2 * 2 * 2 // workloads × batches × devices × models
+	if len(pts) != want {
+		t.Fatalf("expanded %d points, want %d", len(pts), want)
+	}
+	if got := s.Size(); got != want {
+		t.Errorf("Size() = %d, want %d", got, want)
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Errorf("point %d has Index %d", i, p.Index)
+		}
+		if p.Pass != PassInference {
+			t.Errorf("point %d pass = %q", i, p.Pass)
+		}
+	}
+	// Order: workload outer, then batch, then device, then model.
+	if pts[0].Workload != "alexnet" || pts[0].Batch != 16 ||
+		pts[0].Device.Name != "TITAN Xp" || pts[0].Model != ModelDelta {
+		t.Errorf("point 0 = %s", pts[0])
+	}
+	if pts[1].Model != ModelPrior || pts[1].MissRate != 1.0 {
+		t.Errorf("point 1 = %s (miss rate %v)", pts[1], pts[1].MissRate)
+	}
+	if pts[2].Device.Name != "V100" {
+		t.Errorf("point 2 device = %q", pts[2].Device.Name)
+	}
+	if pts[4].Batch != 32 {
+		t.Errorf("point 4 batch = %d", pts[4].Batch)
+	}
+	if pts[8].Workload != "vgg16" {
+		t.Errorf("point 8 workload = %q", pts[8].Workload)
+	}
+	// Named workloads resolve at the point's batch.
+	if pts[0].Net.Layers[0].B != 16 || pts[4].Net.Layers[0].B != 32 {
+		t.Error("named workload not resolved at the batch-axis value")
+	}
+}
+
+// TestExpandSkipsInvalidCombos drops (prior|roofline, training) pairs
+// instead of rejecting the grid.
+func TestExpandSkipsInvalidCombos(t *testing.T) {
+	s := Scenario{
+		Workloads: []Workload{{Name: "alexnet"}},
+		Devices:   []gpu.Device{gpu.TitanXp()},
+		Batches:   []int{16},
+		Models:    []string{ModelDelta, ModelPrior, ModelRoofline},
+		Passes:    []string{PassInference, PassTraining},
+	}
+	pts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 models × inference + delta × training.
+	if len(pts) != 4 {
+		t.Fatalf("expanded %d points, want 4", len(pts))
+	}
+	if s.Size() != len(pts) {
+		t.Errorf("Size() = %d, want %d", s.Size(), len(pts))
+	}
+	training := 0
+	for _, p := range pts {
+		if p.Pass == PassTraining {
+			training++
+			if p.Model != ModelDelta {
+				t.Errorf("training point with model %q", p.Model)
+			}
+		}
+	}
+	if training != 1 {
+		t.Errorf("training points = %d, want 1", training)
+	}
+}
+
+// TestExpandSimAxis: sim configs extend the sweep; with no models listed a
+// sim scenario is simulation-only.
+func TestExpandSimAxis(t *testing.T) {
+	s := Scenario{
+		Workloads:  []Workload{{Net: cnn.AlexNet(2)}},
+		Devices:    []gpu.Device{gpu.TitanXp()},
+		SimConfigs: []engine.Config{{MaxWaves: 1}},
+	}
+	pts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Sim == nil {
+		t.Fatalf("sim-only scenario expanded to %d points (sim %v)", len(pts), pts[0].Sim != nil)
+	}
+	if pts[0].Sim.Device.Name != "TITAN Xp" {
+		t.Errorf("sim config device = %q (device axis not applied)", pts[0].Sim.Device.Name)
+	}
+
+	s.Models = []string{ModelDelta}
+	pts, err = s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("mixed scenario expanded to %d points, want 2", len(pts))
+	}
+	if pts[0].Sim != nil || pts[1].Sim == nil {
+		t.Error("analytic point should precede the sim point")
+	}
+}
+
+// TestExplicitWorkloadIgnoresBatches: explicit layer lists carry their own
+// mini-batch, so the batch axis multiplies named workloads only.
+func TestExplicitWorkloadIgnoresBatches(t *testing.T) {
+	s := Scenario{
+		Workloads: []Workload{{Net: cnn.AlexNet(8)}, {Name: "alexnet"}},
+		Devices:   []gpu.Device{gpu.TitanXp()},
+		Batches:   []int{16, 32},
+	}
+	pts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 { // explicit once + named twice
+		t.Fatalf("expanded %d points, want 3", len(pts))
+	}
+	if s.Size() != 3 {
+		t.Errorf("Size() = %d, want 3", s.Size())
+	}
+	if pts[0].Net.Layers[0].B != 8 {
+		t.Error("explicit workload re-batched")
+	}
+}
+
+// TestValidateErrors covers the rejection paths.
+func TestValidateErrors(t *testing.T) {
+	base := Scenario{
+		Workloads: []Workload{{Name: "alexnet"}},
+		Devices:   []gpu.Device{gpu.TitanXp()},
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"no workloads", func(s *Scenario) { s.Workloads = nil }, "no workloads"},
+		{"no devices", func(s *Scenario) { s.Devices = nil }, "no devices"},
+		{"unknown model", func(s *Scenario) { s.Models = []string{"magic"} }, "unknown model"},
+		{"unknown pass", func(s *Scenario) { s.Passes = []string{"sideways"} }, "unknown pass"},
+		{"unknown network", func(s *Scenario) { s.Workloads = []Workload{{Name: "skynet"}} }, "skynet"},
+		{"negative batch", func(s *Scenario) { s.Batches = []int{-1} }, "negative batch"},
+		{"bad miss rate", func(s *Scenario) { s.MissRate = 2 }, "miss rate"},
+		{"empty workload", func(s *Scenario) { s.Workloads = []Workload{{}} }, "empty"},
+		{"bad device", func(s *Scenario) { s.Devices = []gpu.Device{{Name: "broken"}} }, "broken"},
+		{"all combos invalid", func(s *Scenario) {
+			s.Models = []string{ModelPrior}
+			s.Passes = []string{PassTraining}
+		}, "invalid"},
+	}
+	for _, tc := range cases {
+		s := base
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base scenario invalid: %v", err)
+	}
+}
+
+// TestSingle wraps one evaluation and defaults model/pass.
+func TestSingle(t *testing.T) {
+	s := Single(cnn.AlexNet(4), gpu.V100(), traffic.Options{}, "", "", 0)
+	pts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("Single expanded to %d points", len(pts))
+	}
+	p := pts[0]
+	if p.Model != ModelDelta || p.Pass != PassInference || p.Device.Name != "V100" {
+		t.Errorf("point = %s", p)
+	}
+}

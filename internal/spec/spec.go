@@ -67,29 +67,7 @@ func ReadNetwork(name string, r io.Reader) (cnn.Network, error) {
 	if err := dec.Decode(&specs); err != nil {
 		return cnn.Network{}, fmt.Errorf("spec: parsing layers: %w", err)
 	}
-	if len(specs) == 0 {
-		return cnn.Network{}, fmt.Errorf("spec: no layers in %q", name)
-	}
-	net := cnn.Network{Name: name}
-	for i, s := range specs {
-		l := s.toConv()
-		if l.Name == "" {
-			l.Name = fmt.Sprintf("layer%d", i)
-		}
-		if err := l.Validate(); err != nil {
-			return cnn.Network{}, fmt.Errorf("spec: layer %d: %w", i, err)
-		}
-		c := s.Count
-		if c == 0 {
-			c = 1
-		}
-		if c < 0 {
-			return cnn.Network{}, fmt.Errorf("spec: layer %d: negative count %d", i, c)
-		}
-		net.Layers = append(net.Layers, l)
-		net.Counts = append(net.Counts, c)
-	}
-	return net, nil
+	return layerSpecsToNetwork(name, specs)
 }
 
 // DeviceSpec is the JSON shape of a (possibly partial) device description.
@@ -121,43 +99,7 @@ func ReadDevice(r io.Reader) (gpu.Device, error) {
 	if err := dec.Decode(&s); err != nil {
 		return gpu.Device{}, fmt.Errorf("spec: parsing device: %w", err)
 	}
-	base := s.Base
-	if base == "" {
-		base = "TITAN Xp"
-	}
-	d, err := gpu.ByName(base)
-	if err != nil {
-		return gpu.Device{}, fmt.Errorf("spec: base device: %w", err)
-	}
-	if s.Name != "" {
-		d.Name = s.Name
-	}
-	setI := func(dst *int, src *int) {
-		if src != nil {
-			*dst = *src
-		}
-	}
-	setF := func(dst *float64, src *float64) {
-		if src != nil {
-			*dst = *src
-		}
-	}
-	setI(&d.NumSM, s.NumSM)
-	setF(&d.ClockGHz, s.ClockGHz)
-	setF(&d.MACGFLOPS, s.MACGFLOPS)
-	setF(&d.RegKBPerSM, s.RegKBPerSM)
-	setF(&d.SMEMKBPerSM, s.SMEMKBPerSM)
-	setF(&d.L2SizeMB, s.L2SizeMB)
-	setF(&d.L1SizeKBPerSM, s.L1SizeKBPerSM)
-	setF(&d.L1BWGBsPerSM, s.L1BWGBsPerSM)
-	setF(&d.L2BWGBs, s.L2BWGBs)
-	setF(&d.DRAMBWGBs, s.DRAMBWGBs)
-	setF(&d.LatDRAMClk, s.LatDRAMClk)
-	setI(&d.L1ReqBytes, s.L1ReqBytes)
-	if err := d.Validate(); err != nil {
-		return gpu.Device{}, fmt.Errorf("spec: %w", err)
-	}
-	return d, nil
+	return s.resolve()
 }
 
 // WriteNetwork serializes a network back to the JSON layer-list format.

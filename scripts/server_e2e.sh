@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end smoke of delta-server: build it, start it, submit a small
+# multi-axis scenario to the /v2 async job API, poll the job to completion,
+# check the SSE stream and a /v1 request, then shut down. Run by the CI
+# server-e2e job and usable locally: ./scripts/server_e2e.sh
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/delta-server"
+
+go build -o "$BIN" ./cmd/delta-server
+
+"$BIN" -addr "$ADDR" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+# Submit a 2 networks x 2 devices x 2 models scenario job.
+ID=$(curl -fsS "$BASE/v2/jobs" -d '{"scenario": {
+  "name": "e2e",
+  "workloads": [{"network": "alexnet"}, {"network": "googlenet"}],
+  "devices": [{"name": "TITAN Xp"}, {"name": "V100"}],
+  "models": ["delta", "prior"],
+  "batches": [16]
+}}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+echo "server-e2e: submitted job $ID"
+
+STATUS=running
+for _ in $(seq 1 150); do
+  STATUS=$(curl -fsS "$BASE/v2/jobs/$ID" | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+  [ "$STATUS" != running ] && break
+  sleep 0.2
+done
+if [ "$STATUS" != done ]; then
+  echo "server-e2e: job ended as '$STATUS'" >&2
+  curl -fsS "$BASE/v2/jobs/$ID" >&2 || true
+  exit 1
+fi
+
+# The finished job must carry all 8 point results.
+curl -fsS "$BASE/v2/jobs/$ID" | python3 -c '
+import json, sys
+j = json.load(sys.stdin)
+assert j["done"] == j["total"] == 8, (j["done"], j["total"])
+assert len(j["results"]) == 8
+for i, r in enumerate(j["results"]):
+    assert r["index"] == i, "results out of order"
+    assert r["result"]["total_seconds"] > 0
+print("server-e2e: job results OK")
+'
+
+# The SSE stream of a finished job replays every result then 'done'.
+EVENTS=$(curl -fsS --max-time 10 "$BASE/v2/jobs/$ID/events" | grep -c '^event: result' || true)
+if [ "$EVENTS" != 8 ]; then
+  echo "server-e2e: SSE replayed $EVENTS results, want 8" >&2
+  exit 1
+fi
+echo "server-e2e: SSE OK"
+
+# /v1 still answers synchronously through the same scenario path.
+curl -fsS "$BASE/v1/network" -d '{"network": "alexnet", "device": "V100"}' \
+  | python3 -c 'import json,sys; assert json.load(sys.stdin)["total_seconds"] > 0'
+echo "server-e2e: /v1 OK"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+echo "server-e2e: PASS"
