@@ -6,13 +6,18 @@
 //
 // Usage:
 //
-//	delta-bench [-o BENCH_sim.json]
+//	delta-bench [-o BENCH_sim.json] [-check-against BENCH_sim.json]
+//	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // The artifact is committed at the repo root as the recorded baseline and
-// regenerated per-PR by the non-blocking CI benchmark job, so perf
-// regressions in the simulator hot paths are visible in review. Compare
-// two checkouts with `go test -bench 'BenchmarkSim' -count 10` piped
-// through benchstat for statistically grounded deltas.
+// regenerated per-PR by the CI benchmark job, so perf regressions in the
+// simulator hot paths are visible in review. -check-against compares the
+// fresh run to a recorded baseline and exits non-zero when EngineSerial
+// throughput regresses more than 10% (the CI guard); -cpuprofile and
+// -memprofile capture pprof profiles of the benchmark workload for
+// offline analysis (CI uploads them as artifacts). Compare two checkouts
+// with `go test -bench 'BenchmarkSim' -count 10` piped through benchstat
+// for statistically grounded deltas.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"delta/internal/benchkit"
@@ -43,8 +49,8 @@ type baseline struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	SuiteSize  int    `json:"suite_layers"`
 
-	// Benchmarks maps the four BenchmarkSim* names (without the prefix)
-	// to their measurements.
+	// Benchmarks maps the BenchmarkSim* names (without the prefix) to
+	// their measurements.
 	Benchmarks map[string]entry `json:"benchmarks"`
 
 	// Speedup holds serial-ns / parallel-ns per pair. On a single-core
@@ -54,10 +60,19 @@ type baseline struct {
 
 	// Throughput tracks the Scenario-API overhead: whole-network points/s
 	// through Evaluator.Stream on the canonical multi-axis sweep, cold
-	// (cacheless) and warm (memo-cached), so API-layer regressions show
-	// in the trajectory alongside the simulator hot paths.
+	// (cacheless) and warm (memo-cached), plus their ratio. The warm path
+	// must not lose to the cold one — a memo hit that costs more than the
+	// recompute it saves is a regression (scenario_cached_vs_cold < 1).
 	Throughput map[string]float64 `json:"throughput"`
 }
+
+// engineSerialMetric is the regression-guard quantity: single-thread
+// simulated sectors per second, the engine's core hot-path throughput.
+const engineSerialMetric = "Msectors/s"
+
+// regressionTolerance is how far EngineSerial may fall below the recorded
+// baseline before -check-against fails (shared-runner noise allowance).
+const regressionTolerance = 0.10
 
 func measure(f func(b *testing.B)) entry {
 	r := testing.Benchmark(f)
@@ -71,8 +86,31 @@ func measure(f func(b *testing.B)) entry {
 }
 
 func main() {
+	// All work happens in run so its defers — notably StopCPUProfile,
+	// which is what actually writes the CPU profile — execute before the
+	// process exits, profile included on the failing (regressed) runs the
+	// profile exists to diagnose.
+	os.Exit(run())
+}
+
+func run() int {
 	out := flag.String("o", "BENCH_sim.json", "output path for the benchmark trajectory")
+	checkAgainst := flag.String("check-against", "", "baseline BENCH_sim.json to compare against; exit non-zero on >10% EngineSerial regression")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark workload to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the benchmark workload to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	doc := baseline{
 		GoVersion:  runtime.Version(),
@@ -103,20 +141,86 @@ func main() {
 	scenWarm := run("ScenarioStreamCached", benchkit.ScenarioStreamCached)
 	doc.Throughput["scenario_points_per_sec"] = scenCold.Metrics["points/s"]
 	doc.Throughput["scenario_points_per_sec_cached"] = scenWarm.Metrics["points/s"]
+	cachedVsCold := scenWarm.Metrics["points/s"] / scenCold.Metrics["points/s"]
+	doc.Throughput["scenario_cached_vs_cold"] = cachedVsCold
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fail(err)
+		}
+		f.Close()
+	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("delta-bench: wrote %s (engine %.2fx, suite %.2fx at GOMAXPROCS=%d)\n",
+	fmt.Printf("delta-bench: wrote %s (engine %.2fx, suite %.2fx, warm/cold %.2fx at GOMAXPROCS=%d)\n",
 		*out, doc.Speedup["engine_parallel_vs_serial"],
-		doc.Speedup["suite_parallel_vs_serial"], doc.GOMAXPROCS)
+		doc.Speedup["suite_parallel_vs_serial"], cachedVsCold, doc.GOMAXPROCS)
+
+	failed := false
+	if cachedVsCold < 1 {
+		// Warm must beat cold: a memo hit costing more than the recompute
+		// it replaces means the cache lookup path has regressed.
+		fmt.Fprintf(os.Stderr,
+			"delta-bench: WARNING: ScenarioStreamCached (%.0f points/s) is slower than ScenarioStream (%.0f points/s): memo hits cost more than recomputing\n",
+			scenWarm.Metrics["points/s"], scenCold.Metrics["points/s"])
+		if *checkAgainst != "" {
+			failed = true
+		}
+	}
+	if *checkAgainst != "" && !checkRegression(*checkAgainst, engSerial) {
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
+// checkRegression compares the fresh EngineSerial throughput to the
+// recorded baseline and reports (loudly) whether it is acceptable.
+func checkRegression(path string, engSerial entry) bool {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fail(fmt.Errorf("check-against: %w", err))
+		return false
+	}
+	var base baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fail(fmt.Errorf("check-against %s: %w", path, err))
+		return false
+	}
+	ref, ok := base.Benchmarks["EngineSerial"]
+	if !ok || ref.Metrics[engineSerialMetric] == 0 {
+		fmt.Fprintf(os.Stderr, "delta-bench: check-against %s: no EngineSerial %s metric recorded; skipping check\n",
+			path, engineSerialMetric)
+		return true
+	}
+	baseline := ref.Metrics[engineSerialMetric]
+	fresh := engSerial.Metrics[engineSerialMetric]
+	ratio := fresh / baseline
+	fmt.Fprintf(os.Stderr, "delta-bench: EngineSerial %.2f %s vs baseline %.2f (%.2fx)\n",
+		fresh, engineSerialMetric, baseline, ratio)
+	if ratio < 1-regressionTolerance {
+		fmt.Fprintf(os.Stderr,
+			"delta-bench: FAIL: EngineSerial regressed >%d%% vs %s (%.2f -> %.2f %s)\n",
+			int(regressionTolerance*100), path, baseline, fresh, engineSerialMetric)
+		return false
+	}
+	return true
+}
+
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "delta-bench:", err)
-	os.Exit(1)
+	return 1
 }

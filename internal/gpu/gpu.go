@@ -79,6 +79,12 @@ func (d Device) Validate() error {
 		return fmt.Errorf("gpu: %s: SMEM bandwidth unset", d.Name)
 	case d.L1ReqBytes <= 0 || d.SectorBytes <= 0 || d.LineBytes <= 0:
 		return fmt.Errorf("gpu: %s: transaction granularities unset", d.Name)
+	case d.LineBytes&(d.LineBytes-1) != 0 || d.SectorBytes&(d.SectorBytes-1) != 0 || d.L1ReqBytes&(d.L1ReqBytes-1) != 0:
+		// The simulator's cache and coalescer decompose addresses with
+		// shifts and masks; no real GPU uses non-power-of-two transaction
+		// granularities, so reject them here rather than panic downstream.
+		return fmt.Errorf("gpu: %s: transaction granularities (line %dB, sector %dB, req %dB) must be powers of two",
+			d.Name, d.LineBytes, d.SectorBytes, d.L1ReqBytes)
 	case d.LineBytes%d.SectorBytes != 0:
 		return fmt.Errorf("gpu: %s: line %dB not a multiple of sector %dB", d.Name, d.LineBytes, d.SectorBytes)
 	case d.RegKBPerSM <= 0 || d.SMEMKBPerSM <= 0 || d.L2SizeMB <= 0:

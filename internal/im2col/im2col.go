@@ -165,6 +165,34 @@ func (it *ColumnIter) IsPad() bool {
 	return it.y < it.padLo || it.y >= it.padHiY || it.x < it.padLo || it.x >= it.padHiX
 }
 
+// RunLen returns the number of rows (current row included) until the next
+// output-row wrap: within a run, consecutive rows advance the address by a
+// fixed Stride elements, so a caller can treat the whole run as one
+// arithmetic segment instead of stepping element by element.
+func (it *ColumnIter) RunLen() int { return it.wo - it.ox }
+
+// AdvanceRun steps the iterator n rows at once. n must not exceed RunLen():
+// the address advances linearly within a run, and the (single possible)
+// output-row wrap — plus sample wrap — is applied exactly as n repeated
+// Advance calls would.
+func (it *ColumnIter) AdvanceRun(n int) {
+	it.addr += int64(n) * it.stepX
+	it.x += n * it.stride
+	it.ox += n
+	if it.ox == it.wo {
+		it.ox = 0
+		it.x = it.s
+		it.addr += it.stepRow
+		it.y += it.stride
+		it.oy++
+		if it.oy == it.ho {
+			it.oy = 0
+			it.y = it.r
+			it.addr += it.stepSample
+		}
+	}
+}
+
 // Advance steps the iterator one matrix row down the column.
 func (it *ColumnIter) Advance() {
 	it.addr += it.stepX

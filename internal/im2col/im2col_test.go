@@ -279,3 +279,53 @@ func BenchmarkColumnAddresses(b *testing.B) {
 		mt.ColumnAddresses(0, (i*32)%(m-32), dst)
 	}
 }
+
+// TestAdvanceRunMatchesAdvance: stepping a column run by run (the fused
+// trace-generation path) must visit exactly the states that element-wise
+// Advance does at the same rows — address and padding test alike.
+func TestAdvanceRunMatchesAdvance(t *testing.T) {
+	cases := []layers.Conv{
+		{Name: "s1", B: 2, Ci: 4, Hi: 12, Wi: 12, Co: 48, Hf: 3, Wf: 3, Stride: 1, Pad: 1},
+		{Name: "s2", B: 2, Ci: 3, Hi: 27, Wi: 27, Co: 32, Hf: 5, Wf: 5, Stride: 2, Pad: 2},
+		{Name: "nopad", B: 1, Ci: 2, Hi: 9, Wi: 9, Co: 8, Hf: 3, Wf: 3, Stride: 1},
+		{Name: "pw", B: 3, Ci: 6, Hi: 7, Wi: 7, Co: 16, Hf: 1, Wf: 1, Stride: 1},
+	}
+	for _, l := range cases {
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		mt := New(l)
+		m, _, k := mt.Dims()
+		for _, col := range []int{0, k / 2, k - 1} {
+			ref := mt.ColumnIter(col, 0)
+			fast := mt.ColumnIter(col, 0)
+			row := 0
+			for row < m {
+				run := fast.RunLen()
+				if run < 1 {
+					t.Fatalf("%s col %d row %d: RunLen %d", l.Name, col, row, run)
+				}
+				if row+run > m {
+					run = m - row
+				}
+				// Check every element of the run against the reference,
+				// then jump the fast iterator over it in one step.
+				probe := fast
+				for j := 0; j < run; j++ {
+					if probe.Addr() != ref.Addr() || probe.IsPad() != ref.IsPad() {
+						t.Fatalf("%s col %d row %d+%d: fast (%d,%v) vs ref (%d,%v)",
+							l.Name, col, row, j, probe.Addr(), probe.IsPad(), ref.Addr(), ref.IsPad())
+					}
+					probe.Advance()
+					ref.Advance()
+				}
+				fast.AdvanceRun(run)
+				if fast.Addr() != ref.Addr() || fast.IsPad() != ref.IsPad() {
+					t.Fatalf("%s col %d after run at row %d: fast (%d,%v) vs ref (%d,%v)",
+						l.Name, col, row, fast.Addr(), fast.IsPad(), ref.Addr(), ref.IsPad())
+				}
+				row += run
+			}
+		}
+	}
+}

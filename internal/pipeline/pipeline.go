@@ -161,21 +161,78 @@ const DefaultCacheLimit = 1 << 16
 // Evaluator runs requests through the model stack with a worker pool and a
 // memoizing cache. The zero value is not usable; construct with New. An
 // Evaluator is safe for concurrent use by multiple goroutines.
+//
+// The memo cache is two typed maps (analytical requests and simulation
+// requests) behind RWMutexes rather than one sync.Map: the keys are large
+// structs (layer + device + options, ~500 B), and boxing one into an
+// interface on every lookup made a cache hit allocate more than the
+// analytical models it was saving — the "warm slower than cold" scenario
+// regression. Typed maps hash the key in place; a hit is allocation-free.
 type Evaluator struct {
 	workers    int
 	noCache    bool
 	cacheLimit int
 
-	cache     sync.Map // cacheKey -> *cacheEntry
+	ana       memoMap[cacheKey]
+	sim       memoMap[simKey]
 	cacheSize atomic.Int64
 	hits      atomic.Uint64
 	misses    atomic.Uint64
+
+	// Device interning: gpu.Device is ~200 bytes of the analytical cache
+	// key but has tiny cardinality (a sweep uses a handful of devices), so
+	// keys store a small id instead and lookups hash ~60% fewer bytes.
+	// lastDev short-circuits the intern map for the overwhelmingly common
+	// case of consecutive evaluations on one device: a single struct
+	// compare instead of a map probe.
+	devMu   sync.Mutex
+	devIDs  map[gpu.Device]uint32
+	lastDev atomic.Pointer[devEntry]
+}
+
+type devEntry struct {
+	d  gpu.Device
+	id uint32
+}
+
+// internDevice resolves a device to its small key id, allocating one on
+// first sight. ok is false when the intern table is full (the cache limit
+// bounds it like everything else); the caller then computes uncached.
+func (e *Evaluator) internDevice(d gpu.Device) (id uint32, ok bool) {
+	if ent := e.lastDev.Load(); ent != nil && ent.d == d {
+		return ent.id, true
+	}
+	e.devMu.Lock()
+	id, ok = e.devIDs[d]
+	if !ok {
+		if len(e.devIDs) >= e.cacheLimit {
+			e.devMu.Unlock()
+			return 0, false
+		}
+		if e.devIDs == nil {
+			e.devIDs = make(map[gpu.Device]uint32)
+		}
+		id = uint32(len(e.devIDs))
+		e.devIDs[d] = id
+		ok = true
+	}
+	e.devMu.Unlock()
+	e.lastDev.Store(&devEntry{d: d, id: id})
+	return id, ok
+}
+
+// memoMap is one typed shard of the memo cache.
+type memoMap[K comparable] struct {
+	mu sync.RWMutex
+	m  map[K]*cacheEntry
 }
 
 // cacheKey is the comparable identity of a Request after normalization.
+// The device rides as an interned id (see internDevice), keeping the
+// hashed key small.
 type cacheKey struct {
 	layer     layers.Conv
-	device    gpu.Device
+	device    uint32
 	options   traffic.Options
 	model     Model
 	pass      Pass
@@ -274,12 +331,17 @@ func (e *Evaluator) Evaluate(ctx context.Context, req Request) (Result, error) {
 	if e.noCache {
 		return evalOne(req)
 	}
+	dev, ok := e.internDevice(req.Device)
+	if !ok {
+		e.misses.Add(1)
+		return evalOne(req)
+	}
 	key := cacheKey{
-		layer: req.Layer, device: req.Device, options: req.Options,
+		layer: req.Layer, device: dev, options: req.Options,
 		model: req.Model, pass: req.Pass,
 		missRate: req.MissRate, skipDgrad: req.SkipDgrad,
 	}
-	v, err := e.memoize(key, func() (any, error) { return evalOne(req) })
+	v, err := memoize(e, &e.ana, key, func() (any, error) { return evalOne(req) })
 	if err != nil {
 		return Result{}, err
 	}
@@ -288,9 +350,13 @@ func (e *Evaluator) Evaluate(ctx context.Context, req Request) (Result, error) {
 
 // memoize answers computations through the capped memo cache: the first
 // lookup of a key computes (exactly once, even under concurrent first
-// lookups), later lookups are served from the stored entry.
-func (e *Evaluator) memoize(key any, compute func() (any, error)) (any, error) {
-	v, loaded := e.cache.Load(key)
+// lookups), later lookups are served from the stored entry. The hit path
+// is one RLock and one typed map probe — no allocation, so a memo hit is
+// always cheaper than recomputing.
+func memoize[K comparable](e *Evaluator, mm *memoMap[K], key K, compute func() (any, error)) (any, error) {
+	mm.mu.RLock()
+	ent, loaded := mm.m[key]
+	mm.mu.RUnlock()
 	if !loaded {
 		// Cap the cache: once full, distinct new requests compute without
 		// being stored (existing entries keep serving hits). The counter
@@ -300,12 +366,18 @@ func (e *Evaluator) memoize(key any, compute func() (any, error)) (any, error) {
 			e.misses.Add(1)
 			return compute()
 		}
-		v, loaded = e.cache.LoadOrStore(key, new(cacheEntry))
+		mm.mu.Lock()
+		if mm.m == nil {
+			mm.m = make(map[K]*cacheEntry)
+		}
+		ent, loaded = mm.m[key]
 		if !loaded {
+			ent = new(cacheEntry)
+			mm.m[key] = ent
 			e.cacheSize.Add(1)
 		}
+		mm.mu.Unlock()
 	}
-	ent := v.(*cacheEntry)
 	computed := false
 	ent.once.Do(func() {
 		ent.res, ent.err = compute()

@@ -39,7 +39,7 @@ func (e *Evaluator) Simulate(ctx context.Context, req SimRequest) (engine.Result
 		return engine.Run(req.Layer, req.Config)
 	}
 	key := simKey{layer: req.Layer, cfg: req.Config.Normalized()}
-	v, err := e.memoize(key, func() (any, error) {
+	v, err := memoize(e, &e.sim, key, func() (any, error) {
 		return engine.Run(req.Layer, req.Config)
 	})
 	if err != nil {

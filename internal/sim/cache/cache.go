@@ -5,11 +5,20 @@
 // granularity (the paper's "minimum memory transaction granularity",
 // Section IV): a miss on a sector of an already-present line fetches only
 // that sector. Replacement is LRU within a set.
+//
+// The model sits on the simulator's hottest path (one call per sector of
+// every warp of every CTA), so address decomposition uses shifts and masks
+// instead of div/mod: line and sector granularities must be powers of two
+// (true of every modeled device; Validate rejects the rest), and the set
+// index — whose count is NOT a power of two on several devices (TITAN Xp:
+// 96 L1 sets, 1536 L2 sets) — falls back to a Lemire fastmod (two
+// multiplies) for 32-bit line addresses, and to hardware division beyond.
 package cache
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Config sizes a cache.
@@ -21,10 +30,18 @@ type Config struct {
 }
 
 // Validate reports whether the configuration is geometrically consistent.
+// LineBytes and SectorBytes must be powers of two: the simulator decomposes
+// every address with shifts and masks, and no real cache uses non-power-of-
+// two transaction granularities. (The set *count* may be any positive
+// integer; see setIndex.)
 func (c Config) Validate() error {
 	switch {
 	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.SectorBytes <= 0 || c.Ways <= 0:
 		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line %d not a power of two", c.LineBytes)
+	case c.SectorBytes&(c.SectorBytes-1) != 0:
+		return fmt.Errorf("cache: sector %d not a power of two", c.SectorBytes)
 	case c.LineBytes%c.SectorBytes != 0:
 		return fmt.Errorf("cache: line %d not a multiple of sector %d", c.LineBytes, c.SectorBytes)
 	case c.LineBytes/c.SectorBytes > 64:
@@ -54,22 +71,36 @@ func (s Stats) MissRate() float64 {
 	return float64(s.SectorMisses) / float64(s.SectorAccesses)
 }
 
-type way struct {
-	tag     int64
-	valid   uint64 // per-sector valid bits
-	dirty   uint64 // per-sector dirty bits
-	lastUse uint64
-	live    bool
-}
+// invalidTag marks an empty way. Real line addresses are never negative.
+const invalidTag = -1
 
 // Cache is a sectored set-associative LRU cache. Not safe for concurrent
 // use; the engine drives each cache from a single goroutine.
+//
+// Way state lives in structure-of-arrays layout: the probe loop scans only
+// tags (8 bytes per way, so a 4-way set's tags share one hardware cache
+// line), touching valid/dirty/lastUse lanes only for the way that matched.
 type Cache struct {
-	cfg     Config
-	sets    [][]way
-	numSets int64
-	tick    uint64
-	stats   Stats
+	cfg Config
+
+	lineShift   uint  // log2(LineBytes)
+	sectorShift uint  // log2(SectorBytes)
+	lineMask    int64 // LineBytes - 1
+	ways        int
+
+	numSets  int64
+	setsPow2 bool
+	setMask  int64  // numSets - 1, when setsPow2
+	setM     uint64 // ceil(2^64 / numSets), for the fastmod path
+
+	tags    []int64 // numSets*ways; invalidTag = empty
+	valid   []uint64
+	dirty   []uint64
+	lastUse []uint64
+	mru     []int32 // per set: way that hit or filled last (probe hint only)
+
+	tick  uint64
+	stats Stats
 }
 
 // New builds a cache; it panics on an invalid config (a programmer error).
@@ -78,16 +109,27 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
-	sets := make([][]way, numSets)
-	backing := make([]way, numSets*cfg.Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	n := numSets * cfg.Ways
+	c := &Cache{
+		cfg:         cfg,
+		lineShift:   uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		sectorShift: uint(bits.TrailingZeros(uint(cfg.SectorBytes))),
+		lineMask:    int64(cfg.LineBytes - 1),
+		ways:        cfg.Ways,
+		numSets:     int64(numSets),
+		setsPow2:    numSets&(numSets-1) == 0,
+		setMask:     int64(numSets - 1),
+		setM:        ^uint64(0)/uint64(numSets) + 1,
+		tags:        make([]int64, n),
+		valid:       make([]uint64, n),
+		dirty:       make([]uint64, n),
+		lastUse:     make([]uint64, n),
+		mru:         make([]int32, numSets),
 	}
-	return &Cache{
-		cfg:     cfg,
-		sets:    sets,
-		numSets: int64(numSets),
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
+	return c
 }
 
 // Config returns the cache geometry.
@@ -98,13 +140,30 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = way{}
-		}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.lastUse)
+	clear(c.mru)
 	c.tick = 0
 	c.stats = Stats{}
+}
+
+// setIndex maps a line address to its set: a mask for power-of-two set
+// counts, otherwise a Lemire fastmod (exact for 32-bit operands — every
+// realistic address space; line addresses are byte addresses / 128, so the
+// division fallback only triggers beyond 512 GB footprints).
+func (c *Cache) setIndex(lineAddr int64) int64 {
+	if c.setsPow2 {
+		return lineAddr & c.setMask
+	}
+	if uint64(lineAddr) < 1<<32 {
+		hi, _ := bits.Mul64(c.setM*uint64(lineAddr), uint64(c.numSets))
+		return int64(hi)
+	}
+	return lineAddr % c.numSets
 }
 
 // AccessSector references one sector by byte address. It returns true on a
@@ -114,29 +173,38 @@ func (c *Cache) AccessSector(byteAddr int64) bool {
 	c.tick++
 	c.stats.SectorAccesses++
 
-	lineAddr := byteAddr / int64(c.cfg.LineBytes)
-	sector := uint(byteAddr % int64(c.cfg.LineBytes) / int64(c.cfg.SectorBytes))
-	setIdx := lineAddr % c.numSets
-	set := c.sets[setIdx]
+	lineAddr := byteAddr >> c.lineShift
+	sector := uint(byteAddr&c.lineMask) >> c.sectorShift
+	set := c.setIndex(lineAddr)
+	base := int(set) * c.ways
 
-	// Probe for the line.
-	for i := range set {
-		w := &set[i]
-		if w.live && w.tag == lineAddr {
-			w.lastUse = c.tick
-			if w.valid&(1<<sector) != 0 {
-				c.stats.SectorHits++
-				return true
+	// MRU-first probe: the way that hit last in this set usually hits again
+	// (tile streams revisit the same line many times in a row).
+	w := base + int(c.mru[set])
+	if c.tags[w] != lineAddr {
+		w = -1
+		for i := base; i < base+c.ways; i++ {
+			if c.tags[i] == lineAddr {
+				w = i
+				break
 			}
-			// Line present, sector not: sector fill.
-			w.valid |= 1 << sector
-			c.stats.SectorMisses++
-			return false
 		}
+	}
+	if w >= 0 {
+		c.lastUse[w] = c.tick
+		c.mru[set] = int32(w - base)
+		if c.valid[w]&(1<<sector) != 0 {
+			c.stats.SectorHits++
+			return true
+		}
+		// Line present, sector not: sector fill.
+		c.valid[w] |= 1 << sector
+		c.stats.SectorMisses++
+		return false
 	}
 
 	// Line absent: evict LRU way, install line with this sector.
-	c.install(set, lineAddr, sector, false)
+	c.install(base, set, lineAddr, sector, false)
 	c.stats.SectorMisses++
 	return false
 }
@@ -149,45 +217,60 @@ func (c *Cache) WriteSector(byteAddr int64) {
 	c.tick++
 	c.stats.SectorWrites++
 
-	lineAddr := byteAddr / int64(c.cfg.LineBytes)
-	sector := uint(byteAddr % int64(c.cfg.LineBytes) / int64(c.cfg.SectorBytes))
-	setIdx := lineAddr % c.numSets
-	set := c.sets[setIdx]
+	lineAddr := byteAddr >> c.lineShift
+	sector := uint(byteAddr&c.lineMask) >> c.sectorShift
+	set := c.setIndex(lineAddr)
+	base := int(set) * c.ways
 
-	for i := range set {
-		w := &set[i]
-		if w.live && w.tag == lineAddr {
-			w.lastUse = c.tick
-			w.valid |= 1 << sector
-			w.dirty |= 1 << sector
-			return
+	w := base + int(c.mru[set])
+	if c.tags[w] != lineAddr {
+		w = -1
+		for i := base; i < base+c.ways; i++ {
+			if c.tags[i] == lineAddr {
+				w = i
+				break
+			}
 		}
 	}
-	c.install(set, lineAddr, sector, true)
+	if w >= 0 {
+		c.lastUse[w] = c.tick
+		c.mru[set] = int32(w - base)
+		c.valid[w] |= 1 << sector
+		c.dirty[w] |= 1 << sector
+		return
+	}
+	c.install(base, set, lineAddr, sector, true)
 }
 
 // install evicts the LRU way of the set (counting dirty writebacks) and
-// fills it with a fresh line holding one sector.
-func (c *Cache) install(set []way, lineAddr int64, sector uint, dirty bool) {
-	victim := 0
-	for i := 1; i < len(set); i++ {
-		if !set[i].live {
+// fills it with a fresh line holding one sector. Victim selection scans in
+// way order, preferring the first empty way, else the smallest lastUse —
+// the exact order of the original div/mod implementation, so fill patterns
+// (and therefore every downstream counter) are bit-identical.
+func (c *Cache) install(base int, set, lineAddr int64, sector uint, dirty bool) {
+	victim := base
+	for i := base + 1; i < base+c.ways; i++ {
+		if c.tags[i] == invalidTag {
 			victim = i
 			break
 		}
-		if set[i].lastUse < set[victim].lastUse {
+		if c.lastUse[i] < c.lastUse[victim] {
 			victim = i
 		}
 	}
-	if set[victim].live {
+	if c.tags[victim] != invalidTag {
 		c.stats.LineEvictions++
-		c.countWritebacks(set[victim].dirty)
+		c.countWritebacks(c.dirty[victim])
 	}
-	w := way{tag: lineAddr, valid: 1 << sector, lastUse: c.tick, live: true}
+	c.tags[victim] = lineAddr
+	c.valid[victim] = 1 << sector
+	c.lastUse[victim] = c.tick
+	c.mru[set] = int32(victim - base)
 	if dirty {
-		w.dirty = 1 << sector
+		c.dirty[victim] = 1 << sector
+	} else {
+		c.dirty[victim] = 0
 	}
-	set[victim] = w
 }
 
 func (c *Cache) countWritebacks(dirty uint64) {
@@ -198,23 +281,109 @@ func (c *Cache) countWritebacks(dirty uint64) {
 // and returns the number flushed; counters include them as DirtyWritebacks.
 func (c *Cache) FlushDirty() uint64 {
 	before := c.stats.DirtyWritebacks
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].live {
-				c.countWritebacks(set[i].dirty)
-				set[i].dirty = 0
-			}
+	for i, d := range c.dirty {
+		if c.tags[i] != invalidTag {
+			c.countWritebacks(d)
+			c.dirty[i] = 0
 		}
 	}
 	return c.stats.DirtyWritebacks - before
+}
+
+// AccessLineSectors references every sector of one line whose bit is set
+// in mask (lineAddr = byte address >> log2(LineBytes); mask bit i = sector
+// i of the line), in ascending sector order, and returns the mask of
+// sectors that missed. It is bit-identical — every counter, LRU timestamp,
+// and eviction decision — to calling AccessSector once per set bit in
+// ascending order, but probes the set once per line instead of once per
+// sector: the engine's fastest entry for the coalesced tile streams, whose
+// sectors arrive as runs within one line.
+func (c *Cache) AccessLineSectors(lineAddr int64, mask uint64) (missMask uint64) {
+	if mask == 0 {
+		return 0
+	}
+	n := uint64(bits.OnesCount64(mask))
+	c.tick += n
+	c.stats.SectorAccesses += n
+
+	set := c.setIndex(lineAddr)
+	base := int(set) * c.ways
+
+	w := base + int(c.mru[set])
+	if c.tags[w] != lineAddr {
+		w = -1
+		for i := base; i < base+c.ways; i++ {
+			if c.tags[i] == lineAddr {
+				w = i
+				break
+			}
+		}
+	}
+	if w >= 0 {
+		// Line present: every set bit already valid is a hit, the rest are
+		// sector fills. The line's lastUse lands on the tick of the run's
+		// last access, exactly as sequential accesses would leave it.
+		c.lastUse[w] = c.tick
+		c.mru[set] = int32(w - base)
+		missMask = mask &^ c.valid[w]
+		c.valid[w] |= mask
+		misses := uint64(bits.OnesCount64(missMask))
+		c.stats.SectorHits += n - misses
+		c.stats.SectorMisses += misses
+		return missMask
+	}
+
+	// Line absent: one install covers the whole run (sequentially, the
+	// first sector installs and the rest are sector fills on the fresh
+	// line, so eviction bookkeeping happens exactly once either way).
+	c.installMask(base, set, lineAddr, mask)
+	c.stats.SectorMisses += n
+	return mask
+}
+
+// installMask is install for a whole run of sectors at once.
+func (c *Cache) installMask(base int, set, lineAddr int64, mask uint64) {
+	victim := base
+	for i := base + 1; i < base+c.ways; i++ {
+		if c.tags[i] == invalidTag {
+			victim = i
+			break
+		}
+		if c.lastUse[i] < c.lastUse[victim] {
+			victim = i
+		}
+	}
+	if c.tags[victim] != invalidTag {
+		c.stats.LineEvictions++
+		c.countWritebacks(c.dirty[victim])
+	}
+	c.tags[victim] = lineAddr
+	c.valid[victim] = mask
+	c.dirty[victim] = 0
+	c.lastUse[victim] = c.tick
+	c.mru[set] = int32(victim - base)
+}
+
+// AccessSectors references each sector index in secs, in order (byte
+// address = sec * sectorBytes), and returns the number of sector misses:
+// the generic batch entry for scalar sector streams. (The engine itself
+// drives its coalesced tile streams through AccessLineSectors, whose runs
+// amortize the set probe as well as the call.)
+func (c *Cache) AccessSectors(secs []int64, sectorBytes int64) (misses int) {
+	for _, sec := range secs {
+		if !c.AccessSector(sec * sectorBytes) {
+			misses++
+		}
+	}
+	return misses
 }
 
 // AccessBytes references every sector overlapped by [byteAddr,
 // byteAddr+size) and returns the number of sector misses.
 func (c *Cache) AccessBytes(byteAddr int64, size int) (misses int) {
 	sb := int64(c.cfg.SectorBytes)
-	first := byteAddr / sb
-	last := (byteAddr + int64(size) - 1) / sb
+	first := byteAddr >> c.sectorShift
+	last := (byteAddr + int64(size) - 1) >> c.sectorShift
 	for s := first; s <= last; s++ {
 		if !c.AccessSector(s * sb) {
 			misses++
@@ -231,4 +400,33 @@ func (c *Cache) MissBytes() uint64 {
 // AccessBytesTotal returns the bytes referenced so far (sector granularity).
 func (c *Cache) AccessBytesTotal() uint64 {
 	return c.stats.SectorAccesses * uint64(c.cfg.SectorBytes)
+}
+
+// pools holds one sync.Pool of *Cache per geometry, so simulation runs
+// reuse backing arrays instead of re-allocating them per layer (an L2 alone
+// is ~1 MB of way state).
+var pools sync.Map // Config -> *sync.Pool
+
+// Acquire returns a reset cache of the given geometry, reusing a pooled
+// instance when one is available. Pair with Release when the run is done;
+// the config must validate (Acquire panics like New otherwise).
+func Acquire(cfg Config) *Cache {
+	p, ok := pools.Load(cfg)
+	if !ok {
+		p, _ = pools.LoadOrStore(cfg, &sync.Pool{})
+	}
+	if v := p.(*sync.Pool).Get(); v != nil {
+		c := v.(*Cache)
+		c.Reset()
+		return c
+	}
+	return New(cfg)
+}
+
+// Release returns the cache to its geometry's pool. The caller must not use
+// it afterwards; contents are reset on the next Acquire.
+func (c *Cache) Release() {
+	if p, ok := pools.Load(c.cfg); ok {
+		p.(*sync.Pool).Put(c)
+	}
 }

@@ -250,3 +250,38 @@ func BenchmarkAccessSector(b *testing.B) {
 		c.AccessSector(int64(i*32) % (16 << 20))
 	}
 }
+
+// TestAccessAllocFree guards the hot entries: steady-state accesses must
+// not allocate at all.
+func TestAccessAllocFree(t *testing.T) {
+	c := New(Config{SizeBytes: 96 * 128 * 4, LineBytes: 128, SectorBytes: 32, Ways: 4})
+	secs := []int64{0, 1, 2, 3, 40, 41}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.AccessSector(4096)
+		c.AccessSectors(secs, 32)
+		c.AccessLineSectors(7, 0xF)
+		c.WriteSector(12345)
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs per access batch, want 0", allocs)
+	}
+}
+
+// BenchmarkAccessSectorPow2 probes the mask set-index path (64 sets, the
+// V100 L1 shape); BenchmarkAccessSector above covers the fastmod path
+// (1536 sets, the TITAN Xp L2 shape).
+func BenchmarkAccessSectorPow2(b *testing.B) {
+	c := New(Config{SizeBytes: 32 << 10, LineBytes: 128, SectorBytes: 32, Ways: 4})
+	for i := 0; i < b.N; i++ {
+		c.AccessSector(int64(i*32) % (1 << 20))
+	}
+}
+
+// BenchmarkAccessLineSectors measures the engine's batch entry: one probe
+// filling four sectors of a line, the shape coalesced tile streams produce.
+func BenchmarkAccessLineSectors(b *testing.B) {
+	c := New(Config{SizeBytes: 3 << 20, LineBytes: 128, SectorBytes: 32, Ways: 16})
+	for i := 0; i < b.N; i++ {
+		c.AccessLineSectors(int64(i)%(1<<17), 0xF)
+	}
+}

@@ -16,6 +16,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 
 	"delta/internal/gpu"
@@ -151,6 +152,7 @@ func runGrid(l layers.Conv, grid tiling.Grid, cfg Config) (Result, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := newSim(l, grid, cfg)
+	defer s.release()
 	if w := s.workerCount(); w > 1 {
 		s.runParallel(w)
 	} else {
@@ -183,6 +185,9 @@ func newSim(l layers.Conv, grid tiling.Grid, cfg Config) *sim {
 	d := cfg.Device
 	gen := trace.New(l, grid, cfg.SkipPadding)
 
+	// Cache state comes from per-geometry pools: backing arrays (an L2
+	// alone is ~1 MB of way state) are reset and reused across layers
+	// instead of re-allocated per run.
 	l1s := make([]*cache.Cache, d.NumSM)
 	l1Size := int(d.L1SizeKBPerSM * 1024)
 	l1Size -= l1Size % (d.LineBytes * cfg.L1Ways)
@@ -190,14 +195,14 @@ func newSim(l layers.Conv, grid tiling.Grid, cfg Config) *sim {
 		l1Size = d.LineBytes * cfg.L1Ways
 	}
 	for i := range l1s {
-		l1s[i] = cache.New(cache.Config{
+		l1s[i] = cache.Acquire(cache.Config{
 			SizeBytes: l1Size, LineBytes: d.LineBytes,
 			SectorBytes: d.SectorBytes, Ways: cfg.L1Ways,
 		})
 	}
 	l2Size := int(d.L2SizeBytes())
 	l2Size -= l2Size % (d.LineBytes * cfg.L2Ways)
-	l2 := cache.New(cache.Config{
+	l2 := cache.Acquire(cache.Config{
 		SizeBytes: l2Size, LineBytes: d.LineBytes,
 		SectorBytes: d.SectorBytes, Ways: cfg.L2Ways,
 	})
@@ -273,16 +278,22 @@ func (s *sim) storeCTA(row, col int) {
 // so concurrently-resident CTAs interleave in L2, the behaviour the DRAM
 // model's reuse argument (Fig. 8) relies on — driving every L1 and the
 // shared L2 directly.
+//
+// Tile streams come from a StreamCache: a CTA's coalesced sector stream is
+// a pure function of (axis, grid index, loop), so CTAs sharing a row or
+// column replay the memoized stream instead of regenerating and
+// re-coalescing it. Replaying a stream drives the L1 with the exact sector
+// sequence the warp-by-warp path produced, and the misses are forwarded to
+// the L2 in the same relative order, so all counters stay bit-identical
+// (pinned by TestGoldenResults).
 func (s *sim) runSerial() {
-	co := trace.NewCoalescer(s.d.L1ReqBytes, s.d.SectorBytes)
-	var l1 *cache.Cache
-	visit := func(addrs []int64) {
-		s.res.L1Requests += uint64(co.Coalesce(addrs))
-		for _, sec := range co.Sectors() {
-			byteAddr := sec * co.SectorBytes()
-			if !l1.AccessSector(byteAddr) {
-				if !s.l2.AccessSector(byteAddr) {
-					s.dramSectors++
+	sc := trace.NewStreamCache(s.gen, s.d.L1ReqBytes, s.d.SectorBytes, s.d.LineBytes, s.waveSize)
+	drive := func(l1 *cache.Cache, st *trace.Stream) {
+		s.res.L1Requests += st.Requests
+		for _, r := range st.Runs {
+			if m := l1.AccessLineSectors(r.Line, r.Mask); m != 0 {
+				if m = s.l2.AccessLineSectors(r.Line, m); m != 0 {
+					s.dramSectors += uint64(bits.OnesCount64(m))
 				}
 			}
 		}
@@ -295,9 +306,9 @@ func (s *sim) runSerial() {
 		for loop := 0; loop < s.loops; loop++ {
 			for idx := start; idx < end; idx++ {
 				row, col := s.ctaAt(idx)
-				l1 = s.l1s[idx%s.d.NumSM]
-				s.gen.IFmapLoop(row, loop, visit)
-				s.gen.FilterLoop(col, loop, visit)
+				l1 := s.l1s[idx%s.d.NumSM]
+				drive(l1, sc.IFmap(row, loop))
+				drive(l1, sc.Filter(col, loop))
 			}
 		}
 		for idx := start; idx < end; idx++ {
@@ -305,6 +316,17 @@ func (s *sim) runSerial() {
 		}
 		s.res.SimulatedCTAs += end - start
 	}
+}
+
+// release returns pooled state (cache backing arrays) after a run; the
+// Result only carries copied counters, never references into them.
+func (s *sim) release() {
+	for i, c := range s.l1s {
+		c.Release()
+		s.l1s[i] = nil
+	}
+	s.l2.Release()
+	s.l2 = nil
 }
 
 // finish aggregates per-cache stats into the Result, in the same order the

@@ -225,3 +225,28 @@ func TestInvalidInputs(t *testing.T) {
 		t.Error("zero device accepted")
 	}
 }
+
+// TestAllocsBounded is the allocation regression guard for the pooled
+// engine: with cache backing arrays, wave buffers, and warp scratch reused,
+// a serial run of the test layer sits around ~60 allocations (generator,
+// stream-cache slots, and result bookkeeping) where the pre-pooling engine
+// paid ~10k (one escaped warp buffer per tile-stream call plus fresh cache
+// arrays per run). The bound leaves ~10x headroom so GC-emptied pools and
+// runtime noise cannot flake the test, while still catching any return of
+// per-warp or per-run allocation.
+func TestAllocsBounded(t *testing.T) {
+	for _, workers := range []int{1, 0} {
+		cfg := Config{Device: xp, Workers: workers}
+		if _, err := Run(testLayer, cfg); err != nil { // warm the pools
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := Run(testLayer, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 600 {
+			t.Errorf("workers=%d: %v allocs/run, want <= 600 (pooling regressed)", workers, allocs)
+		}
+	}
+}

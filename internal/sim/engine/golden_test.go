@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"delta/internal/gpu"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_results.json from the current engine")
+
+const goldenPath = "testdata/golden_results.json"
+
+// goldenCase names one (device, layer, config) cell of the equivalence
+// corpus; the map key is its string form.
+func goldenKey(device string, layer string, ci int) string {
+	return fmt.Sprintf("%s/%s/cfg%d", device, layer, ci)
+}
+
+// TestGoldenResults pins the serial engine's full Result — every counter,
+// byte total, and cache stat — for the corpus, against values recorded from
+// the engine before the hot-path overhaul (shift/mask caches, tile-stream
+// memoization, pooled state). Any optimization that perturbs a counter
+// bit-identically fails here, not just serial-vs-parallel consistency.
+//
+// Regenerate (only when a semantic change is intended) with:
+//
+//	go test ./internal/sim/engine -run TestGoldenResults -update
+func TestGoldenResults(t *testing.T) {
+	results := map[string]Result{}
+	for _, d := range []gpu.Device{gpu.TitanXp(), gpu.V100()} {
+		for _, l := range equivCorpus {
+			for ci, cfg := range equivConfigs(d) {
+				cfg.Workers = 1
+				r, err := Run(l, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", goldenKey(d.Name, l.Name, ci), err)
+				}
+				results[goldenKey(d.Name, l.Name, ci)] = r
+			}
+		}
+	}
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", goldenPath, len(results))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to generate): %v", err)
+	}
+	want := map[string]Result{}
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(results) {
+		t.Fatalf("golden has %d cases, corpus has %d", len(want), len(results))
+	}
+	for k, w := range want {
+		got, ok := results[k]
+		if !ok {
+			t.Errorf("%s: missing from corpus", k)
+			continue
+		}
+		if got != w {
+			t.Errorf("%s: diverged from pre-overhaul engine:\n got %+v\nwant %+v", k, got, w)
+		}
+	}
+}

@@ -1,17 +1,18 @@
 package engine
 
 import (
+	"math/bits"
 	"sync"
 
 	"delta/internal/sim/cache"
 	"delta/internal/sim/trace"
 )
 
-// waveSlot buffers one CTA's L1 sector-miss stream for one wave: misses
-// holds the miss byte addresses of every main loop back to back, in issue
-// order, and loopEnd[i] is the end offset of loop i's segment.
+// waveSlot buffers one CTA's L1 miss stream for one wave: misses holds the
+// missed line runs of every main loop back to back, in issue order, and
+// loopEnd[i] is the end offset (in runs) of loop i's segment.
 type waveSlot struct {
-	misses  []int64
+	misses  []trace.LineRun
 	loopEnd []int32
 }
 
@@ -22,10 +23,29 @@ type waveBuf struct {
 	slots      []waveSlot
 }
 
-func newWaveBuf(waveSize, loops int) *waveBuf {
-	b := &waveBuf{slots: make([]waveSlot, waveSize)}
+// waveBufPool recycles wave buffers (and the per-slot miss buffers they
+// carry) across runs; getWaveBuf resizes a pooled buffer to the run's wave
+// geometry, reusing slot capacity.
+var waveBufPool sync.Pool
+
+func getWaveBuf(waveSize, loops int) *waveBuf {
+	b, _ := waveBufPool.Get().(*waveBuf)
+	if b == nil {
+		b = &waveBuf{}
+	}
+	if cap(b.slots) < waveSize {
+		slots := make([]waveSlot, waveSize)
+		copy(slots, b.slots[:cap(b.slots)])
+		b.slots = slots
+	}
+	b.slots = b.slots[:waveSize]
 	for i := range b.slots {
-		b.slots[i].loopEnd = make([]int32, loops)
+		s := &b.slots[i]
+		s.misses = s.misses[:0]
+		if cap(s.loopEnd) < loops {
+			s.loopEnd = make([]int32, loops)
+		}
+		s.loopEnd = s.loopEnd[:loops]
 	}
 	return b
 }
@@ -38,7 +58,10 @@ func newWaveBuf(waveSize, loops int) *waveBuf {
 // order (loop-major lockstep, wave order within a loop). Per-SM L1
 // simulation is independent within a wave: instead of touching the shared
 // L2, workers record each CTA's L1 sector misses into its (loop, slot)
-// segment of a reusable wave buffer.
+// segment of a reusable wave buffer. Each worker owns a StreamCache, so
+// tile streams shared by its CTAs are generated and coalesced once, then
+// replayed; streams are pure functions of (axis, index, loop), so
+// per-worker memoization cannot diverge from the serial engine.
 //
 // Phase 2 (serial): the coordinating goroutine replays the recorded miss
 // segments through the L2 in the exact serial interleave order — loop-major,
@@ -48,7 +71,7 @@ func newWaveBuf(waveSize, loops int) *waveBuf {
 // phases always touch disjoint buffers.
 func (s *sim) runParallel(workers int) {
 	nsm := s.d.NumSM
-	bufs := [2]*waveBuf{newWaveBuf(s.waveSize, s.loops), newWaveBuf(s.waveSize, s.loops)}
+	bufs := [2]*waveBuf{getWaveBuf(s.waveSize, s.loops), getWaveBuf(s.waveSize, s.loops)}
 
 	var wave sync.WaitGroup // per-wave L1 phase barrier
 	var exit sync.WaitGroup
@@ -59,16 +82,13 @@ func (s *sim) runParallel(workers int) {
 		exit.Add(1)
 		go func(w int) {
 			defer exit.Done()
-			co := trace.NewCoalescer(s.d.L1ReqBytes, s.d.SectorBytes)
+			sc := trace.NewStreamCache(s.gen, s.d.L1ReqBytes, s.d.SectorBytes, s.d.LineBytes, s.waveSize)
 			var reqs uint64
-			var l1 *cache.Cache
-			var slot *waveSlot
-			visit := func(addrs []int64) {
-				reqs += uint64(co.Coalesce(addrs))
-				for _, sec := range co.Sectors() {
-					byteAddr := sec * co.SectorBytes()
-					if !l1.AccessSector(byteAddr) {
-						slot.misses = append(slot.misses, byteAddr)
+			drive := func(slot *waveSlot, l1 *cache.Cache, st *trace.Stream) {
+				reqs += st.Requests
+				for _, r := range st.Runs {
+					if m := l1.AccessLineSectors(r.Line, r.Mask); m != 0 {
+						slot.misses = append(slot.misses, trace.LineRun{Line: r.Line, Mask: m})
 					}
 				}
 			}
@@ -79,11 +99,11 @@ func (s *sim) runParallel(workers int) {
 						if sm%workers != w {
 							continue
 						}
-						slot = &b.slots[idx-b.start]
-						l1 = s.l1s[sm]
+						slot := &b.slots[idx-b.start]
+						l1 := s.l1s[sm]
 						row, col := s.ctaAt(idx)
-						s.gen.IFmapLoop(row, loop, visit)
-						s.gen.FilterLoop(col, loop, visit)
+						drive(slot, l1, sc.IFmap(row, loop))
+						drive(slot, l1, sc.Filter(col, loop))
 						slot.loopEnd[loop] = int32(len(slot.misses))
 					}
 				}
@@ -129,6 +149,8 @@ func (s *sim) runParallel(workers int) {
 	for _, r := range requests {
 		s.res.L1Requests += r
 	}
+	waveBufPool.Put(bufs[0])
+	waveBufPool.Put(bufs[1])
 }
 
 // replay runs one wave's recorded L1 miss segments through the shared L2 in
@@ -142,9 +164,9 @@ func (s *sim) replay(b *waveBuf) {
 			if loop > 0 {
 				lo = slot.loopEnd[loop-1]
 			}
-			for _, a := range slot.misses[lo:slot.loopEnd[loop]] {
-				if !s.l2.AccessSector(a) {
-					s.dramSectors++
+			for _, r := range slot.misses[lo:slot.loopEnd[loop]] {
+				if m := s.l2.AccessLineSectors(r.Line, r.Mask); m != 0 {
+					s.dramSectors += uint64(bits.OnesCount64(m))
 				}
 			}
 		}
