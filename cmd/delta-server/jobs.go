@@ -12,10 +12,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"delta"
@@ -44,16 +46,34 @@ type jobStoreConfig struct {
 	now     func() time.Time // test hook
 }
 
+// Cancellation causes: a job context carries why it was cancelled, so a
+// cancel racing the final stream update still classifies the job honestly
+// instead of reporting it "done".
+var (
+	errJobDeleted     = errors.New("job cancelled by client")
+	errServerShutdown = errors.New("server shutting down")
+)
+
 // jobStore is the bounded in-memory job registry.
 type jobStore struct {
 	mu   sync.Mutex
 	jobs map[string]*job
 	cfg  jobStoreConfig
 
+	// evicted counts jobs dropped by TTL or capacity eviction (a gauge
+	// companion for /metrics and /healthz).
+	evicted atomic.Uint64
+
+	// running tracks jobs still in the running state (incremented at
+	// submit, decremented by each job's finish transition), so the
+	// /metrics and /healthz occupancy reads don't walk every job under
+	// its lock on each scrape.
+	running atomic.Int64
+
 	// base is the server-lifetime context jobs run under, so shutdown
 	// cancels in-flight sweeps.
 	base   context.Context
-	cancel context.CancelFunc
+	cancel context.CancelCauseFunc
 }
 
 func newJobStore(cfg jobStoreConfig) *jobStore {
@@ -66,12 +86,29 @@ func newJobStore(cfg jobStoreConfig) *jobStore {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
-	base, cancel := context.WithCancel(context.Background())
+	base, cancel := context.WithCancelCause(context.Background())
 	return &jobStore{jobs: make(map[string]*job), cfg: cfg, base: base, cancel: cancel}
 }
 
 // Close cancels every running job (server shutdown).
-func (st *jobStore) Close() { st.cancel() }
+func (st *jobStore) Close() { st.cancel(errServerShutdown) }
+
+// occupancy reports the stored and still-running job counts. A job
+// DELETEd mid-run counts as running until its runner observes the cancel
+// — it is still consuming pipeline workers, which is what readiness
+// cares about.
+func (st *jobStore) occupancy() (stored, running int) {
+	st.mu.Lock()
+	stored = len(st.jobs)
+	st.mu.Unlock()
+	if n := st.running.Load(); n > 0 {
+		running = int(n)
+	}
+	return stored, running
+}
+
+// evictions reports jobs dropped by TTL or capacity eviction so far.
+func (st *jobStore) evictions() uint64 { return st.evicted.Load() }
 
 // job is one submitted scenario sweep. Immutable fields are set at submit;
 // the mutable tail is guarded by mu, with notify closed-and-replaced on
@@ -81,7 +118,11 @@ type job struct {
 	name    string
 	total   int
 	created time.Time
-	cancel  context.CancelFunc
+	cancel  context.CancelCauseFunc
+
+	// onFinish fires exactly once, on the running→terminal transition
+	// (the store's running-count bookkeeping).
+	onFinish func()
 
 	mu       sync.Mutex
 	notify   chan struct{}
@@ -132,12 +173,16 @@ func (j *job) append(r pointResult) {
 // finish moves the job to a terminal status.
 func (j *job) finish(status jobStatus, errMsg string, at time.Time) {
 	j.mu.Lock()
-	if j.status == jobRunning {
+	transitioned := j.status == jobRunning
+	if transitioned {
 		j.status, j.errMsg, j.finished = status, errMsg, at
 	}
 	close(j.notify)
 	j.notify = make(chan struct{})
 	j.mu.Unlock()
+	if transitioned && j.onFinish != nil {
+		j.onFinish()
+	}
 }
 
 // snapshot returns the job's state for status responses: results from
@@ -156,7 +201,7 @@ var errStoreFull = errors.New("job store full (all slots running); retry later")
 // submit registers a job and returns it; the caller launches the sweep.
 // Finished jobs past TTL are evicted first, then the oldest finished job
 // if the store is still at capacity; a store full of running jobs rejects.
-func (st *jobStore) submit(name string, total int, cancel context.CancelFunc) (*job, error) {
+func (st *jobStore) submit(name string, total int, cancel context.CancelCauseFunc) (*job, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.cfg.now()
@@ -171,7 +216,9 @@ func (st *jobStore) submit(name string, total int, cancel context.CancelFunc) (*
 	j := &job{
 		id: id, name: name, total: total, created: now,
 		cancel: cancel, status: jobRunning, notify: make(chan struct{}),
+		onFinish: func() { st.running.Add(-1) },
 	}
+	st.running.Add(1)
 	st.jobs[id] = j
 	return j, nil
 }
@@ -185,6 +232,7 @@ func (st *jobStore) evictLocked(now time.Time) {
 		j.mu.Unlock()
 		if expired {
 			delete(st.jobs, id)
+			st.evicted.Add(1)
 		}
 	}
 	for len(st.jobs) >= st.cfg.MaxJobs {
@@ -205,6 +253,7 @@ func (st *jobStore) evictLocked(now time.Time) {
 			return // every slot is running; submit will reject
 		}
 		delete(st.jobs, oldestID)
+		st.evicted.Add(1)
 	}
 }
 
@@ -320,7 +369,7 @@ func (j *job) response() jobResponse {
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		writeError(w, bodyErrStatus(err), fmt.Errorf("parsing request: %w", err))
 		return
 	}
 	if len(req.Scenario) == 0 {
@@ -346,10 +395,10 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Reserve the store slot before spawning stream workers, so a full
 	// store rejects without burning any evaluation work.
-	ctx, cancel := context.WithCancel(s.jobs.base)
+	ctx, cancel := context.WithCancelCause(s.jobs.base)
 	j, err := s.jobs.submit(sc.Name, sc.Size(), cancel)
 	if err != nil {
-		cancel()
+		cancel(nil)
 		status := http.StatusServiceUnavailable
 		if !errors.Is(err, errStoreFull) {
 			status = http.StatusInternalServerError
@@ -360,8 +409,10 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	ch, err := s.p.Stream(ctx, sc, delta.WithStreamErrorPolicy(policy))
 	if err != nil {
 		// Expansion errors normally surface from ReadScenario above; if
-		// one slips through, release the slot and report it.
-		cancel()
+		// one slips through, release the slot (finish first, so the
+		// store's running count is balanced) and report it.
+		cancel(nil)
+		j.finish(jobFailed, err.Error(), s.jobs.cfg.now())
 		s.jobs.remove(j.id)
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -370,13 +421,15 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.summary())
 }
 
-// runJob drains the stream into the job record.
+// runJob drains the stream into the job record. The terminal status is
+// classified from the cancellation cause, not the update count: a DELETE
+// (or shutdown) that lands after the final stream update would otherwise
+// be misreported as "done" — the client asked for cancellation and must
+// see it reflected, however late it raced in.
 func (s *server) runJob(ctx context.Context, j *job, ch <-chan delta.StreamUpdate, policy delta.StreamErrorPolicy) {
-	defer j.cancel()
+	defer j.cancel(nil)
 	var firstErr error
-	n := 0
 	for upd := range ch {
-		n++
 		j.append(renderPoint(upd))
 		if upd.Err != nil && firstErr == nil {
 			firstErr = upd.Err
@@ -384,8 +437,8 @@ func (s *server) runJob(ctx context.Context, j *job, ch <-chan delta.StreamUpdat
 	}
 	now := s.jobs.cfg.now()
 	switch {
-	case ctx.Err() != nil && n < j.total:
-		j.finish(jobCancelled, ctx.Err().Error(), now)
+	case ctx.Err() != nil:
+		j.finish(jobCancelled, context.Cause(ctx).Error(), now)
 	case firstErr != nil && policy == delta.StreamFailFast:
 		j.finish(jobFailed, firstErr.Error(), now)
 	default:
@@ -475,7 +528,7 @@ func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request, id stri
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
 	}
-	j.cancel()
+	j.cancel(errJobDeleted)
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "deleted"})
 }
 
@@ -498,7 +551,16 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request, id stri
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
+	// Tell buffering reverse proxies (nginx and friends) to pass frames
+	// through as they arrive instead of batching the stream.
+	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
+
+	// Idle streams emit periodic comment frames so proxies and load
+	// balancers with idle-connection timeouts do not reap a healthy
+	// stream that is simply waiting on a slow sweep.
+	keepAlive := time.NewTicker(s.keepAlive)
+	defer keepAlive.Stop()
 
 	offset := 0
 	for {
@@ -519,6 +581,11 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request, id stri
 		}
 		select {
 		case <-more:
+		case <-keepAlive.C:
+			if _, err := io.WriteString(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}

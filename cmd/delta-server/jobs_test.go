@@ -333,18 +333,18 @@ func TestJobStoreBounds(t *testing.T) {
 	st := newJobStore(cfg)
 	defer st.Close()
 
-	j1, err := st.submit("a", 1, func() {})
+	j1, err := st.submit("a", 1, func(error) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	j1.finish(jobDone, "", now)
-	j2, err := st.submit("b", 1, func() {})
+	j2, err := st.submit("b", 1, func(error) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Store full, j1 finished: a third submit evicts j1.
-	j3, err := st.submit("c", 1, func() {})
+	j3, err := st.submit("c", 1, func(error) {})
 	if err != nil {
 		t.Fatalf("submit at capacity with evictable job: %v", err)
 	}
@@ -353,7 +353,7 @@ func TestJobStoreBounds(t *testing.T) {
 	}
 
 	// Both running: reject.
-	if _, err := st.submit("d", 1, func() {}); err == nil {
+	if _, err := st.submit("d", 1, func(error) {}); err == nil {
 		t.Error("submit with all slots running should fail")
 	}
 
@@ -361,7 +361,7 @@ func TestJobStoreBounds(t *testing.T) {
 	j2.finish(jobDone, "", now)
 	j3.finish(jobFailed, "boom", now)
 	now = now.Add(2 * time.Minute)
-	if _, err := st.submit("e", 1, func() {}); err != nil {
+	if _, err := st.submit("e", 1, func(error) {}); err != nil {
 		t.Fatalf("submit after TTL: %v", err)
 	}
 	if _, ok := st.get(j2.id); ok {
@@ -432,15 +432,175 @@ func TestMethodNotAllowed(t *testing.T) {
 }
 
 // TestOversizeBodyRejected: every body-reading endpoint rejects payloads
-// over the request cap instead of buffering them.
+// over the request cap with 413 (not a generic 400) instead of buffering
+// them.
 func TestOversizeBodyRejected(t *testing.T) {
 	ts, _ := jobTestServer(t, jobStoreConfig{})
 	huge := fmt.Sprintf(`{"network": "alexnet", "batch": 16, "device": %q}`,
 		strings.Repeat("x", maxBodyBytes+1024))
 	for _, path := range []string{"/v1/estimate", "/v1/network", "/v1/explore", "/v2/jobs"} {
 		resp := postJSON(t, ts.URL+path, huge, nil)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("POST %s oversize: status %d, want 400", path, resp.StatusCode)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s oversize: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// A merely malformed (not oversized) body still answers 400.
+	resp := postJSON(t, ts.URL+"/v1/network", `{`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRunJobCancelRace: a cancellation landing after the final stream
+// update must classify the job as cancelled (from the cancellation cause),
+// not report it "done" because the update count reached the total.
+func TestRunJobCancelRace(t *testing.T) {
+	st := newJobStore(jobStoreConfig{})
+	defer st.Close()
+	ctx, cancel := context.WithCancelCause(st.base)
+	j, err := st.submit("race", 2, cancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan delta.StreamUpdate, 2)
+	ch <- delta.StreamUpdate{Done: 1, Total: 2}
+	ch <- delta.StreamUpdate{Done: 2, Total: 2}
+	cancel(errJobDeleted) // DELETE racing in after the last update
+	close(ch)
+
+	s := &server{jobs: st}
+	s.runJob(ctx, j, ch, delta.StreamFailFast)
+	status, errMsg, _, done, _ := j.snapshot(0)
+	if status != jobCancelled {
+		t.Errorf("status = %s, want cancelled", status)
+	}
+	if !strings.Contains(errMsg, "cancelled by client") {
+		t.Errorf("error = %q, want the DELETE cause", errMsg)
+	}
+	if done != 2 {
+		t.Errorf("done = %d, want 2 (results kept)", done)
+	}
+}
+
+// TestJobDeleteDuringRunReportsCancelled: the HTTP-level DELETE-vs-
+// completion race. Whatever the timing, the terminal state must be
+// consistent: either the runner classified "done" strictly before the
+// cancel landed (all results present), or the job reads cancelled with
+// the client cause — never "done" with a cancellation observed.
+func TestJobDeleteDuringRunReportsCancelled(t *testing.T) {
+	ts, st := jobTestServer(t, jobStoreConfig{})
+	sum := submitJob(t, ts, multiAxisJob)
+	j, ok := st.get(sum.ID)
+	if !ok {
+		t.Fatal("submitted job not in store")
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v2/jobs/"+sum.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, errMsg, _, done, _ := j.snapshot(0)
+		if status != jobRunning {
+			switch status {
+			case jobDone:
+				// Legitimate only when the sweep fully completed before
+				// the cancel was observed.
+				if done != sum.Total {
+					t.Errorf("done status with %d/%d results after DELETE", done, sum.Total)
+				}
+			case jobCancelled:
+				if !strings.Contains(errMsg, "cancelled by client") {
+					t.Errorf("cancelled with cause %q, want the DELETE cause", errMsg)
+				}
+			default:
+				t.Errorf("status = %s after DELETE", status)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never left running state after DELETE")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJobEventsKeepAlive: an idle SSE stream emits comment frames at the
+// configured interval (so proxies see traffic) and the proxy-buffering
+// opt-out header.
+func TestJobEventsKeepAlive(t *testing.T) {
+	st := newJobStore(jobStoreConfig{})
+	t.Cleanup(st.Close)
+	ts := httptest.NewServer(newServerWith(delta.NewPipeline(), st,
+		serverConfig{SSEKeepAlive: 20 * time.Millisecond}))
+	t.Cleanup(ts.Close)
+
+	// A registered job that never produces updates: the stream idles.
+	ctx, cancel := context.WithCancelCause(st.base)
+	defer cancel(nil)
+	_ = ctx
+	j, err := st.submit("idle", 1, cancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v2/jobs/" + j.id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Accel-Buffering"); got != "no" {
+		t.Errorf("X-Accel-Buffering = %q, want no", got)
+	}
+	reader := bufio.NewReader(resp.Body)
+	deadline := time.After(5 * time.Second)
+	lines := make(chan string, 16)
+	go func() {
+		for {
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				close(lines)
+				return
+			}
+			lines <- line
+		}
+	}()
+	seen := 0
+	for seen < 2 {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before keep-alives arrived")
+			}
+			if strings.HasPrefix(line, ": keep-alive") {
+				seen++
+			}
+		case <-deadline:
+			t.Fatalf("saw %d keep-alive frames before timeout, want 2", seen)
+		}
+	}
+	// Finishing the job terminates the stream with a done frame.
+	j.finish(jobCancelled, "test over", st.cfg.now())
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed without done frame")
+			}
+			if strings.HasPrefix(line, "event: done") {
+				return
+			}
+		case <-deadline:
+			t.Fatal("no done frame after finish")
 		}
 	}
 }

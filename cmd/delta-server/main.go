@@ -20,6 +20,12 @@
 //	GET    /v2/jobs/{id}/events stream results via Server-Sent Events
 //	DELETE /v2/jobs/{id}        cancel / discard a job
 //
+// Operations: GET /metrics serves Prometheus text metrics; /healthz is a
+// readiness view (503 when saturated). Load shedding (-rate-limit,
+// -max-inflight) answers 429/503 with Retry-After, and -auth-token (or
+// DELTA_AUTH_TOKEN) puts every data endpoint behind a bearer token while
+// /healthz and /metrics stay open.
+//
 // Example:
 //
 //	delta-server -addr :8080 &
@@ -51,15 +57,36 @@ func main() {
 		workers = flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS)")
 		maxJobs = flag.Int("max-jobs", 0, "bound on stored /v2 jobs (0 = default)")
 		jobTTL  = flag.Duration("job-ttl", 0, "retention of finished /v2 jobs (0 = default)")
+
+		authToken = flag.String("auth-token", "",
+			"bearer token guarding all endpoints but /healthz and /metrics (empty = $DELTA_AUTH_TOKEN, unset = no auth)")
+		rateLimit = flag.Float64("rate-limit", 0,
+			"sustained per-client requests/second; exceeding answers 429 + Retry-After (0 = unlimited)")
+		rateBurst = flag.Float64("rate-burst", 0,
+			"per-client token-bucket burst (0 = 2x -rate-limit)")
+		maxInflight = flag.Int("max-inflight", 0,
+			"global concurrent-request cap; exceeding answers 503 + Retry-After (0 = uncapped)")
 	)
 	flag.Parse()
+	// The env var is read after flag parsing, not wired as the flag
+	// default: a default would be echoed by -h and flag-error usage
+	// output, leaking the live token into logs.
+	if *authToken == "" {
+		*authToken = os.Getenv("DELTA_AUTH_TOKEN")
+	}
 
 	p := delta.NewPipeline(delta.WithPipelineWorkers(*workers))
 	jobs := newJobStore(jobStoreConfig{MaxJobs: *maxJobs, TTL: *jobTTL})
 	defer jobs.Close()
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServerWithJobs(p, jobs),
+		Addr: *addr,
+		Handler: newServerWith(p, jobs, serverConfig{
+			AuthToken:   *authToken,
+			RateLimit:   *rateLimit,
+			RateBurst:   *rateBurst,
+			MaxInFlight: *maxInflight,
+			AccessLog:   log.Default(),
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

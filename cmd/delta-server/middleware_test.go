@@ -1,0 +1,354 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"delta"
+	"delta/internal/ratelimit"
+)
+
+// hardenedServer wires a full server with the given hardening config.
+func hardenedServer(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	st := newJobStore(jobStoreConfig{})
+	t.Cleanup(st.Close)
+	ts := httptest.NewServer(newServerWith(delta.NewPipeline(), st, cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func testMetrics(t *testing.T) *serverMetrics {
+	t.Helper()
+	st := newJobStore(jobStoreConfig{})
+	t.Cleanup(st.Close)
+	return newServerMetrics(delta.NewPipeline(), st, nil, nil)
+}
+
+// TestPanicRecovery: a panicking handler answers a JSON 500 (instead of a
+// dropped connection), increments the panic counter, and is recorded as a
+// 500 by the metrics middleware.
+func TestPanicRecovery(t *testing.T) {
+	m := testMetrics(t)
+	h := chain(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}), withMetrics(m), withRecover(m, nil))
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v1/network")
+	if err != nil {
+		t.Fatalf("connection dropped instead of a 500: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("500 body not JSON: %v", err)
+	}
+	if strings.Contains(e.Error, "kaboom") {
+		t.Error("panic value leaked to the client")
+	}
+	if got := m.panics.Value(); got != 1 {
+		t.Errorf("panics counter = %d, want 1", got)
+	}
+	if got := m.requests.With("/v1/network", "GET", "500").Value(); got != 1 {
+		t.Errorf("requests{500} = %d, want 1", got)
+	}
+}
+
+// TestPanicMidStream: a panic after the handler already started writing
+// cannot send a JSON 500, but must still be counted and not kill the
+// server for later requests.
+func TestPanicMidStream(t *testing.T) {
+	m := testMetrics(t)
+	h := chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("partial"))
+		panic("late")
+	}), withMetrics(m), withRecover(m, nil))
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if m.panics.Value() != 1 {
+		t.Errorf("panics counter = %d, want 1", m.panics.Value())
+	}
+}
+
+// TestRateLimit429: past the per-client burst the server answers 429 with
+// a Retry-After header; /healthz and /metrics stay exempt.
+func TestRateLimit429(t *testing.T) {
+	ts := hardenedServer(t, serverConfig{RateLimit: 0.5, RateBurst: 2})
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/devices")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive value", ra)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("429 body not JSON: %v", err)
+	}
+	// Probes and scrapes survive a rate-limited client.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s while rate limited: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestInflightShed: a saturated in-flight gate answers 503 + Retry-After
+// instead of queueing or dropping.
+func TestInflightShed(t *testing.T) {
+	m := testMetrics(t)
+	gate := ratelimit.NewGate(1)
+	h := chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), withShedding(m, nil, gate))
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	if !gate.TryAcquire() {
+		t.Fatal("gate refused first slot")
+	}
+	resp, err := http.Get(ts.URL + "/v1/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if m.shed.With("inflight").Value() != 1 {
+		t.Errorf("shed{inflight} = %d, want 1", m.shed.With("inflight").Value())
+	}
+	gate.Release()
+	resp2, err := http.Get(ts.URL + "/v1/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("post-release status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestAuthToken: with -auth-token set, data endpoints demand the bearer
+// token (constant-time compared) while /healthz and /metrics stay open.
+func TestAuthToken(t *testing.T) {
+	ts := hardenedServer(t, serverConfig{AuthToken: "s3cret"})
+
+	get := func(path, token string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := get("/v1/devices", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("missing token: status %d, want 401", resp.StatusCode)
+	} else if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("401 without WWW-Authenticate")
+	}
+	if resp := get("/v1/devices", "wrong"); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("wrong token: status %d, want 401", resp.StatusCode)
+	}
+	if resp := get("/v1/devices", "s3cret"); resp.StatusCode != http.StatusOK {
+		t.Errorf("right token: status %d, want 200", resp.StatusCode)
+	}
+	for _, path := range []string{"/healthz", "/metrics"} {
+		if resp := get(path, ""); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s without token: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsEndpoint: /metrics renders the per-route counters, latency
+// histograms, and the pipeline / job-store views after live traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := hardenedServer(t, serverConfig{})
+	postJSON(t, ts.URL+"/v1/network", `{"network": "alexnet", "batch": 16}`, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`delta_http_requests_total{route="/v1/network",method="POST",code="200"} 1`,
+		`delta_http_request_duration_seconds_bucket{route="/v1/network",le="+Inf"} 1`,
+		"delta_http_in_flight_requests",
+		"delta_pipeline_cache_misses_total",
+		"delta_pipeline_cache_entries",
+		"delta_scenario_points_total 1",
+		"delta_jobs_stored 0",
+		"delta_jobs_capacity 64",
+		"delta_jobs_evicted_total 0",
+		"# TYPE delta_http_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestHealthReadiness: /healthz reports job-store occupancy and answers
+// 503 when every slot is running.
+func TestHealthReadiness(t *testing.T) {
+	st := newJobStore(jobStoreConfig{MaxJobs: 1})
+	t.Cleanup(st.Close)
+	ts := httptest.NewServer(newServerWith(delta.NewPipeline(), st, serverConfig{}))
+	t.Cleanup(ts.Close)
+
+	var health struct {
+		Status string `json:"status"`
+		Jobs   struct {
+			Stored, Running, Capacity int
+		} `json:"jobs"`
+	}
+	resp := postGet(t, ts.URL+"/healthz", &health)
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("idle health = %d %+v", resp.StatusCode, health)
+	}
+	if health.Jobs.Capacity != 1 {
+		t.Errorf("capacity = %d, want 1", health.Jobs.Capacity)
+	}
+
+	// Fill the single slot with a running job: the server is no longer
+	// ready for new work and must say so.
+	if _, err := st.submit("hog", 1, func(error) {}); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("saturated health status = %d, want 503 (%s)", resp2.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"degraded"`) {
+		t.Errorf("saturated health body = %s", body)
+	}
+}
+
+// TestRequestID: responses carry an X-Request-ID; a client-supplied one is
+// echoed back.
+func TestRequestID(t *testing.T) {
+	ts := hardenedServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no generated X-Request-ID")
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "client-chosen")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "client-chosen" {
+		t.Errorf("X-Request-ID = %q, want the client's", got)
+	}
+}
+
+// TestRouteLabel pins the cardinality-bounding path collapse.
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/healthz":            "/healthz",
+		"/metrics":            "/metrics",
+		"/v1/network":         "/v1/network",
+		"/v2/jobs":            "/v2/jobs",
+		"/v2/jobs/abc123":     "/v2/jobs/{id}",
+		"/v2/jobs/abc/events": "/v2/jobs/{id}/events",
+		"/v2/jobs/abc/bogus":  "/v2/jobs/{id}",
+		"/nonsense":           "other",
+		"/v1/bogus":           "other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestSSEThroughMiddleware: the middleware stack must not break SSE
+// streaming (statusWriter has to pass Flush through).
+func TestSSEThroughMiddleware(t *testing.T) {
+	ts := hardenedServer(t, serverConfig{SSEKeepAlive: time.Hour})
+	sum := submitJob(t, ts, multiAxisJob)
+	resp, err := http.Get(ts.URL + "/v2/jobs/" + sum.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(body), "event: result"); got != 8 {
+		t.Errorf("streamed %d results through the middleware stack, want 8", got)
+	}
+}

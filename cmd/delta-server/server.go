@@ -11,33 +11,101 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"delta"
+	"delta/internal/ratelimit"
 	"delta/internal/spec"
 )
 
 // maxBodyBytes bounds request bodies; layer lists and scenarios are small.
 const maxBodyBytes = 1 << 20
 
+// defaultSSEKeepAlive paces the comment frames idle SSE streams emit so
+// proxies and load balancers do not reap them as dead connections.
+const defaultSSEKeepAlive = 15 * time.Second
+
+// serverConfig is the production-hardening knob set of newServerWith;
+// the zero value serves unauthenticated with no load shedding (the
+// pre-hardening behavior, which the unit tests rely on).
+type serverConfig struct {
+	// AuthToken guards every endpoint but /healthz and /metrics when set.
+	AuthToken string
+
+	// RateLimit is the sustained per-client allowance in requests/second
+	// (0 disables rate limiting); RateBurst is the token-bucket capacity
+	// (0 means 2×RateLimit, min 1).
+	RateLimit float64
+	RateBurst float64
+
+	// MaxInFlight caps globally concurrent requests (0 = uncapped);
+	// excess answers 503 + Retry-After instead of queueing.
+	MaxInFlight int
+
+	// SSEKeepAlive overrides the idle-stream keep-alive interval
+	// (0 means defaultSSEKeepAlive).
+	SSEKeepAlive time.Duration
+
+	// AccessLog receives one line per request; nil disables logging.
+	AccessLog *log.Logger
+}
+
 // server routes requests into one shared pipeline, so concurrent clients
 // share the worker pool and the memo cache.
 type server struct {
-	p    *delta.Pipeline
-	jobs *jobStore
+	p         *delta.Pipeline
+	jobs      *jobStore
+	metrics   *serverMetrics
+	limiter   *ratelimit.Limiter
+	gate      *ratelimit.Gate
+	keepAlive time.Duration
 }
 
-// newServer returns the delta-server HTTP handler.
+// newServer returns the delta-server HTTP handler with default hardening
+// (no auth, no shedding).
 func newServer(p *delta.Pipeline) http.Handler {
 	return newServerWithJobs(p, newJobStore(jobStoreConfig{}))
 }
 
 func newServerWithJobs(p *delta.Pipeline, jobs *jobStore) http.Handler {
-	s := &server{p: p, jobs: jobs}
+	return newServerWith(p, jobs, serverConfig{})
+}
+
+// newServerWith assembles the handler: the route mux behind the
+// middleware chain (request ID → access log → metrics → recovery →
+// shedding → auth), with /metrics scraping the per-server registry.
+func newServerWith(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) http.Handler {
+	var lim *ratelimit.Limiter
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = 2 * cfg.RateLimit
+		}
+		lim = ratelimit.New(ratelimit.Config{Rate: cfg.RateLimit, Burst: burst})
+	}
+	var gate *ratelimit.Gate
+	if cfg.MaxInFlight > 0 {
+		gate = ratelimit.NewGate(cfg.MaxInFlight)
+	}
+	s := &server{
+		p: p, jobs: jobs,
+		metrics:   newServerMetrics(p, jobs, lim, gate),
+		limiter:   lim,
+		gate:      gate,
+		keepAlive: cfg.SSEKeepAlive,
+	}
+	if s.keepAlive <= 0 {
+		s.keepAlive = defaultSSEKeepAlive
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", methods{http.MethodGet: s.handleHealth}.dispatch)
+	mux.HandleFunc("/metrics", methods{
+		http.MethodGet: s.metrics.reg.Handler().ServeHTTP,
+	}.dispatch)
 	mux.HandleFunc("/v1/devices", methods{http.MethodGet: s.handleDevices}.dispatch)
 	mux.HandleFunc("/v1/networks", methods{http.MethodGet: s.handleNetworks}.dispatch)
 	mux.HandleFunc("/v1/estimate", methods{http.MethodPost: s.handleEstimate}.dispatch)
@@ -48,7 +116,14 @@ func newServerWithJobs(p *delta.Pipeline, jobs *jobStore) http.Handler {
 		http.MethodGet:  s.handleJobList,
 	}.dispatch)
 	mux.HandleFunc("/v2/jobs/", s.routeJob)
-	return mux
+	return chain(mux,
+		withRequestID(),
+		withAccessLog(cfg.AccessLog),
+		withMetrics(s.metrics),
+		withRecover(s.metrics, cfg.AccessLog),
+		withShedding(s.metrics, lim, gate),
+		withAuth(s.metrics, cfg.AuthToken),
+	)
 }
 
 // methods dispatches one route by HTTP method, answering every unlisted
@@ -200,6 +275,17 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
+// bodyErrStatus maps a decodeBody failure to its status: a body past the
+// request cap is 413 (the client sent too much, not something malformed),
+// everything else is a plain 400.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // resolveDevice picks the request's device: an inline spec wins over a
 // registry name; the default is the TITAN Xp baseline.
 func resolveDevice(req estimateRequest) (delta.GPU, error) {
@@ -227,13 +313,40 @@ func resolveNetwork(req estimateRequest) (delta.Network, error) {
 	}
 }
 
+// handleHealth is the readiness view: pipeline cache counters, job-store
+// occupancy, and shedding saturation. A server whose job store is full of
+// running jobs or whose in-flight gate is saturated answers 503 so load
+// balancers drain it; the body carries the same detail either way.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	stats := s.p.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	stored, running := s.jobs.occupancy()
+	jobsFull := running >= s.jobs.cfg.MaxJobs
+	gateFull := s.gate.Cap() > 0 && s.gate.InFlight() >= s.gate.Cap()
+
+	body := map[string]any{
 		"status":       "ok",
 		"cache_hits":   stats.Hits,
 		"cache_misses": stats.Misses,
-	})
+		"jobs": map[string]any{
+			"stored":   stored,
+			"running":  running,
+			"capacity": s.jobs.cfg.MaxJobs,
+			"evicted":  s.jobs.evictions(),
+		},
+	}
+	if s.limiter != nil {
+		body["rate_limit_clients"] = s.limiter.Clients()
+	}
+	if s.gate != nil {
+		body["in_flight"] = s.gate.InFlight()
+		body["max_in_flight"] = s.gate.Cap()
+	}
+	status := http.StatusOK
+	if jobsFull || gateFull {
+		body["status"] = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *server) handleDevices(w http.ResponseWriter, r *http.Request) {
@@ -261,7 +374,7 @@ func (s *server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 func (s *server) estimate(w http.ResponseWriter, r *http.Request, named bool) {
 	var req estimateRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		writeError(w, bodyErrStatus(err), fmt.Errorf("parsing request: %w", err))
 		return
 	}
 	if named && req.Network == "" {
@@ -364,7 +477,7 @@ func orDefault(s, def string) string {
 func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	var req exploreRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		writeError(w, bodyErrStatus(err), fmt.Errorf("parsing request: %w", err))
 		return
 	}
 	// The sweep always runs the delta model's inference pass; reject the

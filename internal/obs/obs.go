@@ -1,0 +1,351 @@
+// Package obs is a dependency-free metrics registry for the serving layer:
+// atomic counters, gauges, func-backed metrics, and bounded-bucket
+// histograms, rendered in the Prometheus text exposition format (0.0.4).
+//
+// It deliberately covers only what delta-server needs — no label
+// cardinality explosion guards beyond what callers enforce, no summaries,
+// no push — so the server stays free of third-party dependencies while
+// still speaking the format every scrape stack understands.
+//
+// All metric operations are safe for concurrent use and allocation-free on
+// the hot path (Counter.Inc, Gauge.Set, Histogram.Observe after the first
+// With call per label set; cache the With result at wiring time).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency histogram layout in seconds: sub-ms to
+// tens of seconds, matching the spread between a memo-hit /v1 answer and a
+// large cold sweep.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-layout bucketed distribution. Bucket bounds are
+// upper-inclusive and set at registration; observations past the last
+// bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Bucket index: the first bound >= v (upper-inclusive bounds), which
+	// is exactly what SearchFloat64s returns; v past every bound lands in
+	// the trailing +Inf slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one concrete series (a Counter, Gauge, or Histogram).
+type metric any
+
+// family is one registered metric name: its metadata plus the series per
+// label-value combination (one unlabeled series when labels is empty).
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter" | "gauge" | "histogram"
+	labels  []string
+	buckets []float64
+	fn      func() float64 // func-backed families have no stored series
+
+	mu     sync.Mutex
+	series map[string]metric // key: \x00-joined label values
+}
+
+// Registry holds named metric families and renders them for scraping.
+// Register everything at wiring time; registration panics on invalid or
+// duplicate names (programmer errors, like the prometheus client).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64, fn func() float64) *family {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRe.MatchString(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	if typ == "histogram" {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q needs buckets", name))
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("obs: histogram %q buckets not sorted", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	f := &family{
+		name: name, help: help, typ: typ, labels: labels,
+		buckets: buckets, fn: fn, series: make(map[string]metric),
+	}
+	r.families[name] = f
+	return f
+}
+
+// with resolves (creating on first use) the series for one label-value set.
+func (f *family) with(values []string, make func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.series[key]
+	if !ok {
+		m = make()
+		f.series[key] = m
+	}
+	return m
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", nil, nil, nil)
+	return f.with(nil, func() metric { return new(Counter) }).(*Counter)
+}
+
+// CounterVec registers a counter family with the given label names.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, "counter", labels, nil, nil)}
+}
+
+// With returns the counter for one label-value combination.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.with(values, func() metric { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge", nil, nil, nil)
+	return f.with(nil, func() metric { return new(Gauge) }).(*Gauge)
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotone counters owned elsewhere (e.g. pipeline cache hits).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, "counter", nil, nil, fn)
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time — for
+// level-style values owned elsewhere (job-store depth, limiter occupancy).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", nil, nil, fn)
+}
+
+// Histogram registers an unlabeled histogram with the given bucket bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, "histogram", nil, buckets, nil)
+	return f.with(nil, func() metric { return newHistogram(buckets) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family with label names.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, "histogram", labels, buckets, nil)}
+}
+
+// With returns the histogram for one label-value combination.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.with(values, func() metric { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// WritePrometheus renders every family in text exposition format, families
+// and series in sorted order so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	if f.fn != nil {
+		fmt.Fprintf(b, "%s %s\n", f.name, fmtFloat(f.fn()))
+		return
+	}
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		key string
+		m   metric
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, row{k, f.series[k]})
+	}
+	f.mu.Unlock()
+
+	for _, rw := range rows {
+		labels := f.labelPairs(rw.key)
+		switch m := rw.m.(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, braced(labels), m.Value())
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, braced(labels), m.Value())
+		case *Histogram:
+			var cum uint64
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				le := append(append([]string(nil), labels...), `le="`+fmtFloat(bound)+`"`)
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, braced(le), cum)
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			le := append(append([]string(nil), labels...), `le="+Inf"`)
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, braced(le), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, braced(labels), fmtFloat(m.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, braced(labels), cum)
+		}
+	}
+}
+
+// labelPairs renders the family's label names against one series key.
+func (f *family) labelPairs(key string) []string {
+	if len(f.labels) == 0 {
+		return nil
+	}
+	values := strings.Split(key, "\x00")
+	pairs := make([]string, len(f.labels))
+	for i, l := range f.labels {
+		pairs[i] = l + `="` + escapeLabel(values[i]) + `"`
+	}
+	return pairs
+}
+
+func braced(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// Handler serves the registry as a scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRenderFormat pins the exposition format for every metric kind.
+func TestRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.")
+	c.Add(3)
+	cv := r.CounterVec("test_routed_total", "Routed requests.", "route", "code")
+	cv.With("/v1/network", "200").Add(2)
+	cv.With("/v1/explore", "400").Inc()
+	g := r.Gauge("test_in_flight", "In-flight requests.")
+	g.Set(5)
+	g.Dec()
+	r.GaugeFunc("test_depth", "Store depth.", func() float64 { return 7 })
+	r.CounterFunc("test_hits_total", "Cache hits.", func() float64 { return 41 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.1) // upper-inclusive: lands in le="0.1"
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Total requests.\n# TYPE test_requests_total counter\ntest_requests_total 3\n",
+		`test_routed_total{route="/v1/network",code="200"} 2`,
+		`test_routed_total{route="/v1/explore",code="400"} 1`,
+		"# TYPE test_in_flight gauge\ntest_in_flight 4\n",
+		"test_depth 7\n",
+		"test_hits_total 41\n",
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="+Inf"} 4`,
+		"test_latency_seconds_sum 3.65\n",
+		"test_latency_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in sorted name order.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_requests_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+// TestHistogramVec covers labeled histograms and Count/Sum accessors.
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("test_route_latency_seconds", "Per-route latency.", DefBuckets, "route")
+	h := hv.With("/v2/jobs")
+	h.Observe(0.002)
+	h.Observe(0.002)
+	if h.Count() != 2 {
+		t.Errorf("Count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 0.004 {
+		t.Errorf("Sum = %v, want 0.004", h.Sum())
+	}
+	if hv.With("/v2/jobs") != h {
+		t.Error("With not cached per label set")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_route_latency_seconds_bucket{route="/v2/jobs",le="0.0025"} 2`) {
+		t.Errorf("labeled histogram render wrong:\n%s", b.String())
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes, and newlines in label values
+// must not corrupt the exposition stream.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "Escapes.", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+// TestRegistrationPanics: invalid and duplicate registrations are
+// programmer errors and panic at wiring time.
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"bad name", func(r *Registry) { r.Counter("0bad", "x") }},
+		{"bad label", func(r *Registry) { r.CounterVec("ok_total", "x", "0bad") }},
+		{"dup", func(r *Registry) { r.Counter("dup_total", "x"); r.Gauge("dup_total", "x") }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("h", "x", []float64{1, 0.5}) }},
+		{"no buckets", func(r *Registry) { r.Histogram("h", "x", nil) }},
+		{"label arity", func(r *Registry) { r.CounterVec("v_total", "x", "a").With("1", "2") }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		}()
+	}
+}
+
+// TestConcurrency hammers one registry from many goroutines under -race.
+func TestConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c_total", "x")
+	g := r.Gauge("test_g", "x")
+	h := r.Histogram("test_h_seconds", "x", DefBuckets)
+	cv := r.CounterVec("test_cv_total", "x", "i")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 1000)
+				cv.With(string(rune('a' + w%4))).Inc()
+				var b strings.Builder
+				if i%100 == 0 {
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestHandler serves the scrape endpoint with the right content type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}

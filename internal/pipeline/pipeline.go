@@ -146,10 +146,20 @@ type Result struct {
 	Roofline roofline.Result
 }
 
-// Stats reports cache effectiveness counters.
+// Stats reports the evaluator's observability counters: cache
+// effectiveness, cache occupancy, and scenario-stream progress. The
+// serving layer scrapes these into /metrics.
 type Stats struct {
 	Hits   uint64
 	Misses uint64
+
+	// Entries is the memo cache's current entry count (may transiently
+	// overshoot the cap by in-flight concurrent inserts).
+	Entries uint64
+
+	// ScenarioPoints counts scenario points evaluated by Stream /
+	// RunScenario over the evaluator's lifetime (memo-hit points included).
+	ScenarioPoints uint64
 }
 
 // DefaultCacheLimit caps the memo cache's entry count unless overridden
@@ -178,6 +188,7 @@ type Evaluator struct {
 	cacheSize atomic.Int64
 	hits      atomic.Uint64
 	misses    atomic.Uint64
+	points    atomic.Uint64
 
 	// Device interning: gpu.Device is ~200 bytes of the analytical cache
 	// key but has tiny cardinality (a sweep uses a handful of devices), so
@@ -294,9 +305,16 @@ func Default() *Evaluator {
 	return defaultEval
 }
 
-// Stats returns the cache hit/miss counters so far.
+// Stats returns the observability counters so far.
 func (e *Evaluator) Stats() Stats {
-	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	size := e.cacheSize.Load()
+	if size < 0 {
+		size = 0
+	}
+	return Stats{
+		Hits: e.hits.Load(), Misses: e.misses.Load(),
+		Entries: uint64(size), ScenarioPoints: e.points.Load(),
+	}
 }
 
 // width returns the configured worker-pool width (uncapped by batch size).

@@ -118,6 +118,7 @@ func (e *Evaluator) stream(ctx context.Context, points []scenario.Point, cfg str
 // evalPoint answers one scenario point through the shared synchronous
 // paths, so streamed results are bit-identical to the per-helper ones.
 func (e *Evaluator) evalPoint(ctx context.Context, p scenario.Point) StreamUpdate {
+	e.points.Add(1)
 	upd := StreamUpdate{Point: p}
 	if p.Sim != nil {
 		upd.Sim, upd.Err = e.SimulateLayers(ctx, p.Net.Layers, *p.Sim)

@@ -109,6 +109,38 @@ func TestStreamMemoHits(t *testing.T) {
 	}
 }
 
+// TestStatsObservability: Stats exposes the counters the serving layer
+// scrapes — scenario points advance per evaluated point (memo hits
+// included), and the cache reports its occupancy.
+func TestStatsObservability(t *testing.T) {
+	sc := multiAxis()
+	e := New()
+	if s := e.Stats(); s.ScenarioPoints != 0 || s.Entries != 0 {
+		t.Fatalf("fresh evaluator stats = %+v", s)
+	}
+	if _, err := e.RunScenario(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	s1 := e.Stats()
+	if want := uint64(sc.Size()); s1.ScenarioPoints != want {
+		t.Errorf("ScenarioPoints = %d, want %d", s1.ScenarioPoints, want)
+	}
+	if s1.Entries == 0 {
+		t.Error("cache Entries = 0 after a cold sweep")
+	}
+	// A repeat sweep memo-hits but still counts its points.
+	if _, err := e.RunScenario(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.Stats()
+	if want := 2 * uint64(sc.Size()); s2.ScenarioPoints != want {
+		t.Errorf("ScenarioPoints after repeat = %d, want %d", s2.ScenarioPoints, want)
+	}
+	if s2.Entries != s1.Entries {
+		t.Errorf("repeat sweep grew the cache: %d -> %d", s1.Entries, s2.Entries)
+	}
+}
+
 // badTrainingNet has a non-square filter past the first layer: valid for
 // inference, rejected by the training pass (dgrad requires square filters)
 // — an eval-time error that survives scenario validation.

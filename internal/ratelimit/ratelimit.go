@@ -1,0 +1,179 @@
+// Package ratelimit implements the delta-server load-shedding primitives:
+// a per-client token-bucket limiter (answering "try again in N seconds")
+// and a global in-flight gate capping concurrent requests. Both are
+// dependency-free and safe for concurrent use.
+package ratelimit
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxClients bounds the bucket map so a client-IP scan cannot grow
+// server memory without bound.
+const DefaultMaxClients = 4096
+
+// Config parameterizes a Limiter.
+type Config struct {
+	// Rate is the sustained allowance in requests per second per client.
+	Rate float64
+
+	// Burst is the bucket capacity (instantaneous allowance); values below
+	// 1 are raised to 1 so a full bucket always admits a request.
+	Burst float64
+
+	// MaxClients bounds the number of tracked buckets (0 means
+	// DefaultMaxClients). At the bound, stale buckets are swept first and
+	// the oldest-seen bucket is recycled if none are stale.
+	MaxClients int
+
+	// Now is the clock (nil means time.Now); a test hook.
+	Now func() time.Time
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter hands out tokens per client key (normally the client IP).
+type Limiter struct {
+	cfg Config
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// New returns a limiter; Rate must be > 0 (a zero-rate limiter would only
+// ever shed, which callers express by not installing a limiter at all).
+func New(cfg Config) *Limiter {
+	if cfg.Rate <= 0 {
+		panic("ratelimit: Rate must be > 0")
+	}
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Limiter{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Allow takes one token from client's bucket. When the bucket is empty it
+// returns false and the duration after which a retry will succeed (the
+// Retry-After header value, rounded up by the caller).
+func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	now := l.cfg.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.buckets[client]
+	if !found {
+		if len(l.buckets) >= l.cfg.MaxClients {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.cfg.Burst, b.tokens+l.cfg.Rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.cfg.Rate * float64(time.Second))
+}
+
+// evictLocked frees map slots: buckets idle long enough to have refilled
+// completely carry no state worth keeping and are dropped; if none are
+// stale, the least-recently-seen bucket is recycled (which at worst grants
+// one rotating client a fresh burst — bounded memory wins here).
+func (l *Limiter) evictLocked(now time.Time) {
+	full := time.Duration(l.cfg.Burst / l.cfg.Rate * float64(time.Second))
+	var (
+		oldestKey string
+		oldest    time.Time
+	)
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= full {
+			delete(l.buckets, k)
+			continue
+		}
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	if len(l.buckets) >= l.cfg.MaxClients && oldestKey != "" {
+		delete(l.buckets, oldestKey)
+	}
+}
+
+// Clients reports how many client buckets are tracked (a saturation view
+// for /healthz and /metrics).
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// Gate caps globally concurrent work. A nil *Gate admits everything, so
+// callers can wire "no cap configured" without branching.
+type Gate struct {
+	max int64
+	cur atomic.Int64
+}
+
+// NewGate returns a gate admitting at most max concurrent holders; max
+// must be > 0.
+func NewGate(max int) *Gate {
+	if max <= 0 {
+		panic("ratelimit: gate capacity must be > 0")
+	}
+	return &Gate{max: int64(max)}
+}
+
+// TryAcquire takes a slot, reporting false when the gate is full. Every
+// successful acquire must be paired with Release.
+func (g *Gate) TryAcquire() bool {
+	if g == nil {
+		return true
+	}
+	for {
+		c := g.cur.Load()
+		if c >= g.max {
+			return false
+		}
+		if g.cur.CompareAndSwap(c, c+1) {
+			return true
+		}
+	}
+}
+
+// Release returns a slot.
+func (g *Gate) Release() {
+	if g != nil {
+		g.cur.Add(-1)
+	}
+}
+
+// InFlight reports the currently held slots.
+func (g *Gate) InFlight() int {
+	if g == nil {
+		return 0
+	}
+	return int(g.cur.Load())
+}
+
+// Cap reports the gate capacity (0 when no gate is configured).
+func (g *Gate) Cap() int {
+	if g == nil {
+		return 0
+	}
+	return int(g.max)
+}

@@ -1,0 +1,165 @@
+package ratelimit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable test clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBurstThenRefill: a fresh client spends its burst, is refused with a
+// usable Retry-After, and is admitted again once the bucket refills.
+func TestBurstThenRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := New(Config{Rate: 2, Burst: 3, Now: clk.now})
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.Allow("a")
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	// Empty bucket at 2 tokens/s: the next token is 500ms away.
+	if retry != 500*time.Millisecond {
+		t.Errorf("retryAfter = %v, want 500ms", retry)
+	}
+
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Error("request after refill refused")
+	}
+	// Refill caps at burst: a long idle does not bank extra tokens.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("post-idle burst request %d refused", i)
+		}
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Error("idle banked more than burst")
+	}
+}
+
+// TestPerClientIsolation: one client exhausting its bucket does not affect
+// another.
+func TestPerClientIsolation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := New(Config{Rate: 1, Burst: 1, Now: clk.now})
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("first a refused")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("second a admitted")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Error("b throttled by a's bucket")
+	}
+	if l.Clients() != 2 {
+		t.Errorf("Clients = %d, want 2", l.Clients())
+	}
+}
+
+// TestBucketBound: the bucket map stays bounded under a client scan, and
+// stale buckets are the first to go.
+func TestBucketBound(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := New(Config{Rate: 1, Burst: 1, MaxClients: 8, Now: clk.now})
+	for i := 0; i < 100; i++ {
+		l.Allow(fmt.Sprint("client-", i))
+		clk.advance(10 * time.Second) // each predecessor goes stale
+	}
+	if got := l.Clients(); got > 8 {
+		t.Errorf("Clients = %d, want <= 8", got)
+	}
+	// Hot buckets (no staleness): the oldest-seen is recycled instead.
+	l2 := New(Config{Rate: 1, Burst: 100, MaxClients: 4, Now: clk.now})
+	for i := 0; i < 20; i++ {
+		l2.Allow(fmt.Sprint("hot-", i))
+	}
+	if got := l2.Clients(); got > 4 {
+		t.Errorf("hot Clients = %d, want <= 4", got)
+	}
+}
+
+// TestBurstFloor: Burst below 1 is raised so a full bucket admits.
+func TestBurstFloor(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := New(Config{Rate: 1, Burst: 0.1, Now: clk.now})
+	if ok, _ := l.Allow("a"); !ok {
+		t.Error("full bucket with floored burst refused")
+	}
+}
+
+// TestGate: the in-flight gate admits to capacity, refuses past it, and
+// reopens on release; the nil gate admits everything.
+func TestGate(t *testing.T) {
+	g := NewGate(2)
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("gate refused within capacity")
+	}
+	if g.TryAcquire() {
+		t.Fatal("gate admitted past capacity")
+	}
+	if g.InFlight() != 2 || g.Cap() != 2 {
+		t.Errorf("InFlight/Cap = %d/%d, want 2/2", g.InFlight(), g.Cap())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Error("gate refused after release")
+	}
+
+	var nilGate *Gate
+	if !nilGate.TryAcquire() {
+		t.Error("nil gate refused")
+	}
+	nilGate.Release()
+	if nilGate.InFlight() != 0 || nilGate.Cap() != 0 {
+		t.Error("nil gate reports occupancy")
+	}
+}
+
+// TestGateConcurrent hammers the gate under -race and checks it never
+// overshoots.
+func TestGateConcurrent(t *testing.T) {
+	g := NewGate(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if g.TryAcquire() {
+					if n := g.InFlight(); n > 4 {
+						t.Errorf("in-flight %d > cap", n)
+					}
+					g.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if g.InFlight() != 0 {
+		t.Errorf("in-flight = %d after drain", g.InFlight())
+	}
+}

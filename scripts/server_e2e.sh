@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke of delta-server: build it, start it, submit a small
 # multi-axis scenario to the /v2 async job API, poll the job to completion,
-# check the SSE stream and a /v1 request, then shut down. Run by the CI
+# check the SSE stream and a /v1 request, then scrape /metrics and assert
+# the request/job counters moved, exercise the 413 oversize-body path, and
+# rerun with tight limits to exercise 429 load shedding. Run by the CI
 # server-e2e job and usable locally: ./scripts/server_e2e.sh
 set -euo pipefail
 
@@ -67,6 +69,74 @@ echo "server-e2e: SSE OK"
 curl -fsS "$BASE/v1/network" -d '{"network": "alexnet", "device": "V100"}' \
   | python3 -c 'import json,sys; assert json.load(sys.stdin)["total_seconds"] > 0'
 echo "server-e2e: /v1 OK"
+
+# The /metrics scrape must show the traffic above: request counters and
+# latency histograms moved, the job sweep's 8 scenario points were counted,
+# and the pipeline cache did work.
+curl -fsS "$BASE/metrics" | python3 -c '
+import sys
+lines = [l for l in sys.stdin if l.strip() and not l.startswith("#")]
+metrics = {}
+for l in lines:
+    name, _, value = l.rpartition(" ")
+    metrics[name] = float(value)
+
+def total(prefix):
+    return sum(v for k, v in metrics.items() if k.startswith(prefix))
+
+assert total("delta_http_requests_total") > 0, "no requests counted"
+submit = "delta_http_requests_total{route=\"/v2/jobs\",method=\"POST\",code=\"202\"}"
+assert metrics.get(submit, 0) >= 1, "job submit not counted"
+assert total("delta_http_request_duration_seconds_count") > 0, "no latencies observed"
+assert metrics.get("delta_scenario_points_total", 0) >= 8, "scenario points not counted"
+assert metrics.get("delta_pipeline_cache_misses_total", 0) > 0, "pipeline cache never exercised"
+assert metrics.get("delta_jobs_stored", -1) >= 1, "job store gauge missing"
+print("server-e2e: /metrics OK (%d series)" % len(metrics))
+'
+
+# An oversized body answers 413, not 400 (and never a dropped connection).
+STATUS=$(python3 -c 'print("{\"network\": \"" + "x" * (1 << 21) + "\"}")' \
+  | curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/network" --data-binary @-)
+if [ "$STATUS" != 413 ]; then
+  echo "server-e2e: oversize body answered $STATUS, want 413" >&2
+  exit 1
+fi
+echo "server-e2e: 413 OK"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+
+# Rerun with tight limits: past the burst the server sheds with 429 +
+# Retry-After while /healthz stays open.
+"$BIN" -addr "$ADDR" -rate-limit 0.1 -rate-burst 2 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+for i in 1 2; do
+  STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/devices")
+  if [ "$STATUS" != 200 ]; then
+    echo "server-e2e: burst request $i answered $STATUS, want 200" >&2
+    exit 1
+  fi
+done
+HDRS=$(mktemp)
+STATUS=$(curl -s -o /dev/null -D "$HDRS" -w '%{http_code}' "$BASE/v1/devices")
+if [ "$STATUS" != 429 ] || ! grep -qi '^retry-after:' "$HDRS"; then
+  echo "server-e2e: past-burst request answered $STATUS, want 429 + Retry-After" >&2
+  cat "$HDRS" >&2
+  exit 1
+fi
+curl -fsS "$BASE/healthz" >/dev/null  # probes survive shedding
+curl -fsS "$BASE/metrics" | grep -q 'delta_http_shed_total{reason="rate"}' || {
+  echo "server-e2e: shed counter missing from /metrics" >&2
+  exit 1
+}
+echo "server-e2e: 429 OK"
 
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
