@@ -233,6 +233,19 @@ func BenchmarkSimSuiteSerial(b *testing.B) { benchkit.SuiteSerial(b) }
 // worker pool (cacheless, so every layer really simulates).
 func BenchmarkSimSuiteParallel(b *testing.B) { benchkit.SuiteParallel(b) }
 
+// BenchmarkSimEngineParallelParts measures the two-phase engine with the
+// shared-L2 replay itself partitioned across two set-partition workers —
+// the configuration that lifts the serial-replay Amdahl ceiling.
+func BenchmarkSimEngineParallelParts(b *testing.B) { benchkit.EngineRunParts(b, 0, 2) }
+
+// BenchmarkSimStreamSweepPrivate measures an L2-capacity sweep with
+// per-run private stream generation (the pre-tier behaviour).
+func BenchmarkSimStreamSweepPrivate(b *testing.B) { benchkit.StreamSweepPrivate(b) }
+
+// BenchmarkSimStreamSweepShared measures the same sweep with the shared
+// stream-cache tier, so adjacent points reuse coalesced tile streams.
+func BenchmarkSimStreamSweepShared(b *testing.B) { benchkit.StreamSweepShared(b) }
+
 // BenchmarkScenarioStream measures declarative-sweep throughput: the
 // canonical multi-axis scenario streamed through a cacheless pipeline,
 // reporting points/s — the Scenario-API overhead metric BENCH_sim.json

@@ -104,6 +104,18 @@ func newServerMetrics(p *delta.Pipeline, jobs *jobStore, lim *ratelimit.Limiter,
 	reg.CounterFunc("delta_scenario_points_total",
 		"Scenario points evaluated by the pipeline (memo hits included).",
 		func() float64 { return float64(p.Stats().ScenarioPoints) })
+	reg.CounterFunc("delta_stream_cache_hits_total",
+		"Shared stream-cache tier hits (coalesced tile streams reused).",
+		func() float64 { return float64(p.Stats().StreamHits) })
+	reg.CounterFunc("delta_stream_cache_misses_total",
+		"Shared stream-cache tier misses (streams generated and published).",
+		func() float64 { return float64(p.Stats().StreamMisses) })
+	reg.GaugeFunc("delta_stream_cache_entries",
+		"Shared stream-cache tier occupancy (published streams).",
+		func() float64 { return float64(p.Stats().StreamEntries) })
+	reg.GaugeFunc("delta_replay_partitions",
+		"L2 replay partitions the pipeline applies to simulation requests.",
+		func() float64 { return float64(p.Stats().ReplayPartitions) })
 	reg.GaugeFunc("delta_jobs_stored",
 		"Jobs held in the /v2 job store.",
 		func() float64 { stored, _ := jobs.occupancy(); return float64(stored) })

@@ -44,11 +44,18 @@ func SuiteLayers() []layers.Conv {
 // EngineLayer at the given worker count (1 = serial reference, 0 =
 // GOMAXPROCS parallel).
 func EngineRun(b *testing.B, workers int) {
+	EngineRunParts(b, workers, 0)
+}
+
+// EngineRunParts is EngineRun with an explicit L2 replay-partition count
+// (0/1 = serial replay): the scaling body behind the delta-bench workers
+// sweep and the partitioned-replay speedup measurement.
+func EngineRunParts(b *testing.B, workers, parts int) {
 	b.ReportAllocs()
 	d := gpu.TitanXp()
 	var sectors uint64
 	for i := 0; i < b.N; i++ {
-		r, err := engine.Run(EngineLayer, engine.Config{Device: d, Workers: workers})
+		r, err := engine.Run(EngineLayer, engine.Config{Device: d, Workers: workers, ReplayPartitions: parts})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,12 +136,13 @@ func ScenarioStreamCached(b *testing.B) {
 
 // SuiteParallel is the body of the suite-level parallel run: the same
 // layers fanned across a cacheless pipeline (every layer really simulates,
-// isolating the worker-pool fan-out).
+// isolating the worker-pool fan-out; stream sharing is disabled so the
+// pair measures fan-out alone — the stream tier has its own pair below).
 func SuiteParallel(b *testing.B) {
 	b.ReportAllocs()
 	cfg := engine.Config{Device: gpu.TitanXp()}
 	ls := SuiteLayers()
-	p := pipeline.New(pipeline.WithoutCache())
+	p := pipeline.New(pipeline.WithoutCache(), pipeline.WithoutStreamSharing())
 	for i := 0; i < b.N; i++ {
 		if _, err := p.SimulateLayers(context.Background(), ls, cfg); err != nil {
 			b.Fatal(err)
@@ -142,3 +150,43 @@ func SuiteParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(ls)), "layers")
 }
+
+// StreamSweepPoints is the number of adjacent sweep points in the
+// stream-sharing pair: same layers and coalescing geometry, different L2
+// capacity — the shape where the shared stream tier should serve every
+// stream after the first point generates it.
+const StreamSweepPoints = 3
+
+// streamSweep is the shared body of the stream-sharing pair: one L2
+// capacity sweep (StreamSweepPoints adjacent points over the suite layers)
+// through a fresh cacheless pipeline per iteration, so the tier starts
+// cold each sweep and the measurement includes its fill cost.
+func streamSweep(b *testing.B, share bool) {
+	b.ReportAllocs()
+	ls := SuiteLayers()
+	opts := []pipeline.Option{pipeline.WithoutCache()}
+	if !share {
+		opts = append(opts, pipeline.WithoutStreamSharing())
+	}
+	for i := 0; i < b.N; i++ {
+		p := pipeline.New(opts...)
+		for pt := 0; pt < StreamSweepPoints; pt++ {
+			d := gpu.TitanXp()
+			d.L2SizeMB += float64(pt) // capacity varies, geometry doesn't
+			cfg := engine.Config{Device: d}
+			if _, err := p.SimulateLayers(context.Background(), ls, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(StreamSweepPoints, "points")
+}
+
+// StreamSweepPrivate measures the capacity sweep with per-run private
+// stream generation (the pre-tier behaviour).
+func StreamSweepPrivate(b *testing.B) { streamSweep(b, false) }
+
+// StreamSweepShared measures the same sweep with the shared stream tier:
+// the stream_shared_vs_private ratio in BENCH_sim.json is Private ns over
+// Shared ns.
+func StreamSweepShared(b *testing.B) { streamSweep(b, true) }

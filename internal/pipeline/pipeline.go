@@ -29,6 +29,7 @@ import (
 	"delta/internal/perf"
 	"delta/internal/prior"
 	"delta/internal/roofline"
+	"delta/internal/sim/trace"
 	"delta/internal/traffic"
 )
 
@@ -160,6 +161,19 @@ type Stats struct {
 	// ScenarioPoints counts scenario points evaluated by Stream /
 	// RunScenario over the evaluator's lifetime (memo-hit points included).
 	ScenarioPoints uint64
+
+	// StreamHits / StreamMisses / StreamEntries report the shared
+	// stream-cache tier backing the evaluator's engine runs (all zero when
+	// stream sharing is disabled): coalesced tile streams served from the
+	// tier vs generated, and current tier occupancy.
+	StreamHits    uint64
+	StreamMisses  uint64
+	StreamEntries uint64
+
+	// ReplayPartitions is the L2 replay-partition count the evaluator
+	// applies to simulation requests that leave the knob unset (0 = serial
+	// replay).
+	ReplayPartitions uint64
 }
 
 // DefaultCacheLimit caps the memo cache's entry count unless overridden
@@ -179,9 +193,19 @@ const DefaultCacheLimit = 1 << 16
 // analytical models it was saving — the "warm slower than cold" scenario
 // regression. Typed maps hash the key in place; a hit is allocation-free.
 type Evaluator struct {
-	workers    int
-	noCache    bool
-	cacheLimit int
+	workers     int
+	noCache     bool
+	cacheLimit  int
+	noStreams   bool
+	replayParts int
+
+	// streams is the shared stream-cache tier handed to every engine run
+	// (unless the request brings its own): scenario sweeps and repeated
+	// simulations regenerate coalesced tile streams once per identity
+	// instead of once per run. Sharing never changes counters — streams
+	// are pure functions of their identity — so it composes freely with
+	// the memo cache.
+	streams *trace.SharedStreams
 
 	ana       memoMap[cacheKey]
 	sim       memoMap[simKey]
@@ -280,6 +304,25 @@ func WithCacheLimit(n int) Option {
 	return func(e *Evaluator) { e.cacheLimit = n }
 }
 
+// WithoutStreamSharing disables the shared stream-cache tier: every engine
+// run regenerates its tile streams privately (the pre-tier behaviour).
+// Mostly useful for benchmarking the tier itself.
+func WithoutStreamSharing() Option {
+	return func(e *Evaluator) { e.noStreams = true }
+}
+
+// WithReplayPartitions sets the L2 replay-partition count applied to
+// simulation requests that leave Config.ReplayPartitions unset (n < 2
+// keeps the replay serial). Counters are bit-identical at every setting.
+func WithReplayPartitions(n int) Option {
+	return func(e *Evaluator) {
+		if n < 2 {
+			n = 0
+		}
+		e.replayParts = n
+	}
+}
+
 // New constructs an Evaluator; by default the pool is GOMAXPROCS wide and
 // the cache is enabled with DefaultCacheLimit entries.
 func New(opts ...Option) *Evaluator {
@@ -289,6 +332,9 @@ func New(opts ...Option) *Evaluator {
 	}
 	if e.cacheLimit < 1 {
 		e.cacheLimit = DefaultCacheLimit
+	}
+	if !e.noStreams {
+		e.streams = trace.NewSharedStreams(0)
 	}
 	return e
 }
@@ -311,10 +357,16 @@ func (e *Evaluator) Stats() Stats {
 	if size < 0 {
 		size = 0
 	}
-	return Stats{
+	st := Stats{
 		Hits: e.hits.Load(), Misses: e.misses.Load(),
 		Entries: uint64(size), ScenarioPoints: e.points.Load(),
+		ReplayPartitions: uint64(e.replayParts),
 	}
+	if e.streams != nil {
+		ss := e.streams.Stats()
+		st.StreamHits, st.StreamMisses, st.StreamEntries = ss.Hits, ss.Misses, ss.Entries
+	}
+	return st
 }
 
 // width returns the configured worker-pool width (uncapped by batch size).

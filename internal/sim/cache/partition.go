@@ -1,0 +1,98 @@
+// Set partitioning: disjoint views over one cache for the engine's
+// parallel shared-L2 replay.
+//
+// A sectored set-associative cache factors exactly along its set index:
+// every line address maps to one set, LRU state (tags, valid/dirty masks,
+// lastUse) lives entirely within a set, and replacement compares lastUse
+// values only between ways of the same set. Partitioning the sets into
+// disjoint contiguous ranges therefore partitions the cache's entire state
+// machine: accesses to different partitions commute, and a worker that
+// owns a partition can replay its accesses with a private LRU clock — per
+// set, the clock values it assigns are in the same relative order as the
+// global serial clock's, so every eviction decision, counter, and dirty
+// bit is bit-identical to the serial interleave. Summing the per-shard
+// uint64 counters (in any fixed order) then reproduces the serial totals
+// exactly, because integer addition is exact.
+package cache
+
+// PartitionOf maps a line address to its partition under an n-way set
+// partitioning: partition p owns the contiguous set range
+// [p*numSets/n, (p+1)*numSets/n). It reads only immutable geometry, so
+// concurrent callers (the engine's L1 workers bucketing misses while
+// replay workers drain earlier waves) never race.
+func (c *Cache) PartitionOf(lineAddr int64, n int) int {
+	return int(c.setIndex(lineAddr) * int64(n) / c.numSets)
+}
+
+// Shard is the view of one set partition: it probes and fills the parent
+// cache's way state directly (its partition's sets are untouched by every
+// other shard) but keeps a private LRU clock and private event counters,
+// so shards never write shared memory. A shard must only be driven with
+// addresses of its own partition — the engine guarantees this by bucketing
+// replay work with PartitionOf — except WriteSector, which filters itself.
+// Not safe for concurrent use; each replay worker owns one shard.
+type Shard struct {
+	c     *Cache
+	part  int64
+	parts int64
+	tick  uint64
+	stats Stats
+}
+
+// Shards splits the cache into n disjoint set-partition views (n is
+// clamped to [1, set count]). The parent cache must not be accessed
+// directly until the shards are folded back with MergeShards.
+func (c *Cache) Shards(n int) []*Shard {
+	if n < 1 {
+		n = 1
+	}
+	if int64(n) > c.numSets {
+		n = int(c.numSets)
+	}
+	shards := make([]*Shard, n)
+	for p := range shards {
+		shards[p] = &Shard{c: c, part: int64(p), parts: int64(n)}
+	}
+	return shards
+}
+
+// AccessLineSectors is Cache.AccessLineSectors against the shard's private
+// clock and counters. The line must belong to this shard's partition.
+func (s *Shard) AccessLineSectors(lineAddr int64, mask uint64) (missMask uint64) {
+	return s.c.accessLineSectors(lineAddr, s.c.setIndex(lineAddr), mask, &s.tick, &s.stats)
+}
+
+// WriteSector writes one sector iff its line belongs to this shard's
+// partition, reporting whether it did: replay workers walk the identical
+// epilogue store stream and each shard keeps only its share, so together
+// they perform the serial store sequence exactly once, set-partitioned.
+func (s *Shard) WriteSector(byteAddr int64) bool {
+	lineAddr := byteAddr >> s.c.lineShift
+	set := s.c.setIndex(lineAddr)
+	if set*s.parts/s.c.numSets != s.part {
+		return false
+	}
+	s.c.writeSector(byteAddr, lineAddr, set, &s.tick, &s.stats)
+	return true
+}
+
+// Stats returns the shard's private event counters.
+func (s *Shard) Stats() Stats { return s.stats }
+
+// MergeShards folds per-shard clocks and counters back into the parent, in
+// shard order. Every access lands in exactly one shard and the counters
+// are exact integer sums, so the merged totals are bit-identical to a
+// serial replay's regardless of partition count; after the merge the
+// parent cache (Stats, FlushDirty) is usable as if it had been driven
+// serially.
+func (c *Cache) MergeShards(shards []*Shard) {
+	for _, s := range shards {
+		c.tick += s.tick
+		c.stats.SectorAccesses += s.stats.SectorAccesses
+		c.stats.SectorHits += s.stats.SectorHits
+		c.stats.SectorMisses += s.stats.SectorMisses
+		c.stats.LineEvictions += s.stats.LineEvictions
+		c.stats.SectorWrites += s.stats.SectorWrites
+		c.stats.DirtyWritebacks += s.stats.DirtyWritebacks
+	}
+}

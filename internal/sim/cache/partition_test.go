@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// partitionGeometries spans pow2 set counts and the non-pow2 fastmod ones
+// the real devices use (TITAN Xp: 96 L1 sets, 1536 L2 sets).
+var partitionGeometries = []Config{
+	{SizeBytes: 64 * 1024, LineBytes: 128, SectorBytes: 32, Ways: 4},        // 128 sets (pow2)
+	{SizeBytes: 48 * 1024, LineBytes: 128, SectorBytes: 32, Ways: 4},        // 96 sets
+	{SizeBytes: 3 * 1024 * 1024, LineBytes: 128, SectorBytes: 32, Ways: 16}, // 1536 sets
+	{SizeBytes: 28 * 1024, LineBytes: 64, SectorBytes: 32, Ways: 7},         // 64 sets, odd ways
+}
+
+// op is one event of a synthetic replay stream.
+type op struct {
+	write bool
+	addr  int64 // line address for reads, byte address for writes
+	mask  uint64
+}
+
+func randomOps(r *rand.Rand, cfg Config, n int) []op {
+	// Footprint ~4x the cache so evictions and writebacks are plentiful,
+	// with a hot subset so hits are too.
+	numSets := int64(cfg.SizeBytes / (cfg.LineBytes * cfg.Ways))
+	span := numSets * int64(cfg.Ways) * 4
+	sectors := cfg.LineBytes / cfg.SectorBytes
+	ops := make([]op, n)
+	for i := range ops {
+		line := r.Int63n(span)
+		if r.Intn(3) == 0 {
+			line = r.Int63n(span / 8) // hot region
+		}
+		if r.Intn(5) == 0 {
+			ops[i] = op{
+				write: true,
+				addr:  line*int64(cfg.LineBytes) + int64(r.Intn(sectors))*int64(cfg.SectorBytes),
+			}
+		} else {
+			ops[i] = op{addr: line, mask: uint64(r.Int63())%(1<<uint(sectors)-1) + 1}
+		}
+	}
+	return ops
+}
+
+// TestShardsMatchSerial replays identical randomized streams — reads and
+// writes, hot and streaming regions — through a serial cache and through a
+// partitioned set of shards (each op routed to its owning shard, in
+// order), asserting the merged counters, dram-side misses, and the flushed
+// dirty state are bit-identical at every partition count, including counts
+// that do not divide the set count and the max (one set per shard).
+func TestShardsMatchSerial(t *testing.T) {
+	for gi, cfg := range partitionGeometries {
+		numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+		for _, parts := range []int{1, 2, 3, 7, numSets, numSets * 2} {
+			t.Run(fmt.Sprintf("geom%d/parts%d", gi, parts), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(gi*1000 + parts)))
+				ops := randomOps(r, cfg, 20000)
+
+				serial := New(cfg)
+				var serialMiss uint64
+				for _, o := range ops {
+					if o.write {
+						serial.WriteSector(o.addr)
+					} else {
+						serialMiss += uint64(bits.OnesCount64(serial.AccessLineSectors(o.addr, o.mask)))
+					}
+				}
+				serial.FlushDirty()
+				wantStats := serial.Stats()
+
+				part := New(cfg)
+				shards := part.Shards(parts)
+				var partMiss uint64
+				for _, o := range ops {
+					if o.write {
+						owned := 0
+						for _, s := range shards {
+							if s.WriteSector(o.addr) {
+								owned++
+							}
+						}
+						if owned != 1 {
+							t.Fatalf("write %#x claimed by %d shards", o.addr, owned)
+						}
+					} else {
+						p := part.PartitionOf(o.addr, len(shards))
+						partMiss += uint64(bits.OnesCount64(shards[p].AccessLineSectors(o.addr, o.mask)))
+					}
+				}
+				part.MergeShards(shards)
+				part.FlushDirty()
+
+				if got := part.Stats(); got != wantStats {
+					t.Errorf("merged stats diverged:\n got %+v\nwant %+v", got, wantStats)
+				}
+				if partMiss != serialMiss {
+					t.Errorf("downstream miss sectors: got %d, want %d", partMiss, serialMiss)
+				}
+			})
+		}
+	}
+}
+
+// TestShardsDisjointOrderFree asserts the partition independence claim the
+// engine's overlap relies on: replaying shard A's whole stream before
+// shard B's (instead of interleaving) yields the same merged counters,
+// because partitions share no state.
+func TestShardsDisjointOrderFree(t *testing.T) {
+	cfg := partitionGeometries[1] // 96 sets: fastmod path
+	r := rand.New(rand.NewSource(7))
+	ops := randomOps(r, cfg, 20000)
+	const parts = 4
+
+	run := func(interleaved bool) Stats {
+		c := New(cfg)
+		shards := c.Shards(parts)
+		route := func(o op, s *Shard, p int) {
+			if o.write {
+				s.WriteSector(o.addr)
+			} else if c.PartitionOf(o.addr, parts) == p {
+				s.AccessLineSectors(o.addr, o.mask)
+			}
+		}
+		if interleaved {
+			for _, o := range ops {
+				for p, s := range shards {
+					route(o, s, p)
+				}
+			}
+		} else {
+			for p, s := range shards {
+				for _, o := range ops {
+					route(o, s, p)
+				}
+			}
+		}
+		c.MergeShards(shards)
+		c.FlushDirty()
+		return c.Stats()
+	}
+
+	if a, b := run(true), run(false); a != b {
+		t.Errorf("shard replay order changed merged counters:\n interleaved %+v\n sequential  %+v", a, b)
+	}
+}
+
+// TestShardsClamp pins the partition-count clamp: more shards than sets
+// collapses to one shard per set, and n < 1 to a single shard.
+func TestShardsClamp(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, LineBytes: 128, SectorBytes: 32, Ways: 4} // 8 sets
+	c := New(cfg)
+	if got := len(c.Shards(100)); got != 8 {
+		t.Errorf("Shards(100) = %d shards, want 8", got)
+	}
+	if got := len(c.Shards(0)); got != 1 {
+		t.Errorf("Shards(0) = %d shards, want 1", got)
+	}
+	// Every line lands in a valid partition under the clamped count.
+	for line := int64(0); line < 1000; line++ {
+		if p := c.PartitionOf(line, 8); p < 0 || p >= 8 {
+			t.Fatalf("PartitionOf(%d, 8) = %d out of range", line, p)
+		}
+	}
+}

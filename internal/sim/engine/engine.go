@@ -12,6 +12,20 @@
 // goroutine, and the default parallel engine fans per-SM L1 simulation out
 // across workers and replays the recorded L1 miss segments through the
 // shared L2 in the exact serial interleave order (see runParallel).
+//
+// The L2 replay itself parallelizes without breaking that guarantee
+// (Config.ReplayPartitions): the L2's sets are split into disjoint
+// partitions, each owned by one replay worker holding a cache.Shard view.
+// A line address maps to exactly one set, LRU replacement compares
+// timestamps only within a set, and a shard's private clock assigns
+// timestamps in set-restricted program order — the same relative order per
+// set as the serial clock — so every eviction, hit, miss, and writeback
+// decision is identical to the serial replay's. Each worker consumes its
+// partition's pre-bucketed miss segments in the serial interleave order and
+// counts into private uint64 counters; the coordinator folds shards back in
+// fixed partition order, and integer sums are exact, so totals are
+// bit-identical at any partition count (see internal/sim/cache/partition.go
+// and TestPartitionedReplayBitIdentical).
 package engine
 
 import (
@@ -53,6 +67,24 @@ type Config struct {
 	// reference engine, and higher values cap the pool explicitly (never
 	// above the SM count). Every setting yields bit-identical counters.
 	Workers int
+
+	// ReplayPartitions splits the shared-L2 replay across that many
+	// workers by partitioning the L2's sets (clamped to the set count;
+	// 0 or 1 keeps the replay serial). Partitioned replay lifts the
+	// serial-L2 Amdahl ceiling of the parallel engine; counters stay
+	// bit-identical at every partition count (see the package comment).
+	// Ignored by the serial reference engine unless > 1, which forces the
+	// two-phase engine even at Workers = 1.
+	ReplayPartitions int
+
+	// Streams, when non-nil, backs every worker's private stream memo
+	// with a process-level shared tier, so coalesced tile streams are
+	// generated once per identity (layer, grid, geometry, axis, index,
+	// loop) across engine runs — scenario sweeps whose points share
+	// coalescing geometry stop regenerating identical streams. Streams
+	// are pure functions of their identity, so sharing cannot change any
+	// counter. Safe for concurrent use by parallel runs.
+	Streams *trace.SharedStreams
 }
 
 func (c Config) withDefaults() Config {
@@ -66,11 +98,14 @@ func (c Config) withDefaults() Config {
 }
 
 // Normalized returns the config with cache-geometry defaults applied and
-// the Workers knob cleared: the equivalence class under which results are
-// bit-identical, so it is usable as a memoization key.
+// the execution-strategy knobs (Workers, ReplayPartitions, Streams)
+// cleared: the equivalence class under which results are bit-identical, so
+// it is usable as a memoization key.
 func (c Config) Normalized() Config {
 	c = c.withDefaults()
 	c.Workers = 0
+	c.ReplayPartitions = 0
+	c.Streams = nil
 	return c
 }
 
@@ -153,8 +188,9 @@ func runGrid(l layers.Conv, grid tiling.Grid, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	s := newSim(l, grid, cfg)
 	defer s.release()
-	if w := s.workerCount(); w > 1 {
-		s.runParallel(w)
+	w, p := s.workerCount(), s.partitionCount()
+	if w > 1 || p > 1 {
+		s.runParallel(w, p)
 	} else {
 		s.runSerial()
 	}
@@ -242,6 +278,15 @@ func (s *sim) workerCount() int {
 	return w
 }
 
+// partitionCount resolves the Config.ReplayPartitions knob (the clamp to
+// the L2 set count happens in cache.Shards).
+func (s *sim) partitionCount() int {
+	if p := s.cfg.ReplayPartitions; p > 1 {
+		return p
+	}
+	return 1
+}
+
 // ctaAt maps a schedule index to CTA grid coordinates: column-major order
 // (Section IV-C: column-wise scheduling for the skinny im2col GEMM) or
 // row-major under the ablation knob.
@@ -273,6 +318,28 @@ func (s *sim) storeCTA(row, col int) {
 	}
 }
 
+// storeCTAShard is storeCTA against one L2 set-partition view: every replay
+// worker walks the identical store stream and the shard keeps only the
+// sectors of its own partition, so together the workers perform the serial
+// store sequence exactly once.
+func (s *sim) storeCTAShard(sh *cache.Shard, row, col int) {
+	g := s.grid
+	sb := int64(s.d.SectorBytes)
+	m0 := row * g.Tile.BlkM
+	n0 := col * g.Tile.BlkN
+	nEnd := n0 + g.Tile.BlkN
+	if nEnd > g.N {
+		nEnd = g.N
+	}
+	for m := m0; m < m0+g.Tile.BlkM && m < g.M; m++ {
+		start := s.ofmapBase + (int64(m)*int64(g.N)+int64(n0))*layers.ElemBytes
+		end := s.ofmapBase + (int64(m)*int64(g.N)+int64(nEnd))*layers.ElemBytes
+		for sec := start / sb; sec*sb < end; sec++ {
+			sh.WriteSector(sec * sb)
+		}
+	}
+}
+
 // runSerial is the reference engine: one goroutine walks the wave schedule
 // in program order — within a wave, loops proceed in lockstep across CTAs
 // so concurrently-resident CTAs interleave in L2, the behaviour the DRAM
@@ -288,6 +355,9 @@ func (s *sim) storeCTA(row, col int) {
 // (pinned by TestGoldenResults).
 func (s *sim) runSerial() {
 	sc := trace.NewStreamCache(s.gen, s.d.L1ReqBytes, s.d.SectorBytes, s.d.LineBytes, s.waveSize)
+	if s.cfg.Streams != nil {
+		sc.SetShared(s.cfg.Streams)
+	}
 	drive := func(l1 *cache.Cache, st *trace.Stream) {
 		s.res.L1Requests += st.Requests
 		for _, r := range st.Runs {

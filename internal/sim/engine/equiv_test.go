@@ -2,10 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"delta/internal/gpu"
 	"delta/internal/layers"
+	"delta/internal/sim/trace"
 )
 
 // equivCorpus spans the grid shapes the paper suite produces: all three
@@ -36,9 +38,13 @@ func equivConfigs(d gpu.Device) []Config {
 
 // TestParallelBitIdentical asserts the two-phase parallel engine reproduces
 // the serial reference engine's Result exactly — every counter, byte total,
-// and cache stat — across the corpus, for several worker counts. Run under
-// -race in CI, this is also the engine's data-race gauntlet.
+// and cache stat — across the corpus, for several worker and replay-
+// partition counts (including partitioned replay under a single L1 worker).
+// Run under -race in CI, this is also the engine's data-race gauntlet.
 func TestParallelBitIdentical(t *testing.T) {
+	combos := []struct{ workers, parts int }{
+		{0, 0}, {2, 0}, {3, 2}, {0, 4}, {1, 3},
+	}
 	for _, d := range []gpu.Device{gpu.TitanXp(), gpu.V100()} {
 		for _, l := range equivCorpus {
 			for ci, cfg := range equivConfigs(d) {
@@ -51,20 +57,94 @@ func TestParallelBitIdentical(t *testing.T) {
 					if err != nil {
 						t.Fatalf("serial: %v", err)
 					}
-					for _, workers := range []int{0, 2, 3} {
+					for _, wp := range combos {
 						par := cfg
-						par.Workers = workers
+						par.Workers = wp.workers
+						par.ReplayPartitions = wp.parts
 						got, err := Run(l, par)
 						if err != nil {
-							t.Fatalf("workers=%d: %v", workers, err)
+							t.Fatalf("workers=%d parts=%d: %v", wp.workers, wp.parts, err)
 						}
 						if got != want {
-							t.Errorf("workers=%d diverged from serial:\n got %+v\nwant %+v",
-								workers, got, want)
+							t.Errorf("workers=%d parts=%d diverged from serial:\n got %+v\nwant %+v",
+								wp.workers, wp.parts, got, want)
 						}
 					}
 				})
 			}
 		}
+	}
+}
+
+// TestPartitionedReplayBitIdentical is the partitioned-replay differential
+// gauntlet: randomized layer geometries and cache associativities — on the
+// TITAN Xp these hit the non-pow2 fastmod set counts (96 L1 / 1536 L2 sets
+// at the default ways) — replayed at 2, 3, and max (>= set count, clamped)
+// partitions, and additionally with a shared stream tier, all of which must
+// reproduce the serial reference Result exactly.
+func TestPartitionedReplayBitIdentical(t *testing.T) {
+	devices := []gpu.Device{gpu.TitanXp(), gpu.V100()}
+	rng := rand.New(rand.NewSource(42))
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		l := layers.Conv{
+			Name:   fmt.Sprintf("rand%d", trial),
+			B:      1 + rng.Intn(3),
+			Ci:     8 * (1 + rng.Intn(12)),
+			Hi:     7 + rng.Intn(22),
+			Co:     16 * (1 + rng.Intn(8)),
+			Hf:     1 + 2*rng.Intn(2), // 1 or 3
+			Stride: 1 + rng.Intn(2),
+		}
+		l.Wi = l.Hi
+		l.Wf = l.Hf
+		if l.Hf > 1 {
+			l.Pad = rng.Intn(2)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid layer: %v", trial, err)
+		}
+		d := devices[trial%len(devices)]
+		cfg := Config{
+			Device:   d,
+			L1Ways:   []int{2, 3, 4}[rng.Intn(3)],
+			L2Ways:   []int{8, 12, 16}[rng.Intn(3)],
+			MaxWaves: 2, // bound the trial; truncation is part of the schedule
+		}
+		t.Run(fmt.Sprintf("trial%d/%s", trial, d.Name), func(t *testing.T) {
+			t.Parallel()
+			serial := cfg
+			serial.Workers = 1
+			want, err := Run(l, serial)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			for _, parts := range []int{2, 3, 1 << 20} {
+				for _, workers := range []int{1, 3} {
+					par := cfg
+					par.Workers = workers
+					par.ReplayPartitions = parts
+					par.Streams = trace.NewSharedStreams(0)
+					got, err := Run(l, par)
+					if err != nil {
+						t.Fatalf("workers=%d parts=%d: %v", workers, parts, err)
+					}
+					if got != want {
+						t.Errorf("workers=%d parts=%d diverged:\n got %+v\nwant %+v",
+							workers, parts, got, want)
+					}
+					// Second run against the now-warm tier: hits must be as
+					// exact as generation.
+					again, err := Run(l, par)
+					if err != nil {
+						t.Fatalf("warm rerun: %v", err)
+					}
+					if again != want {
+						t.Errorf("workers=%d parts=%d warm-tier rerun diverged:\n got %+v\nwant %+v",
+							workers, parts, again, want)
+					}
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,157 @@
+// SharedStreams: a process-level tier above the per-run StreamCache, so
+// coalesced tile streams survive across engine runs.
+//
+// A stream is a pure function of (layer, grid, padding predication,
+// coalescing geometry, axis, index, loop). Scenario sweeps re-derive the
+// same functions point after point: adjacent points that differ only in
+// cache capacity, associativity, SM count, or any other knob outside the
+// coalescing geometry regenerate byte-identical streams, and within one
+// parallel run every worker's private StreamCache regenerates the streams
+// its siblings already built. The shared tier memoizes the coalesced form
+// once under the full identity key, so correctness never depends on which
+// run (or worker) produced an entry — a hit returns exactly the stream
+// the consumer would have generated.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"delta/internal/layers"
+	"delta/internal/tiling"
+)
+
+// streamAxis distinguishes the two tile-stream families of a GEMM.
+type streamAxis uint8
+
+const (
+	axisIFmap streamAxis = iota
+	axisFilter
+)
+
+// sharedKey is the complete identity of one coalesced tile stream. Every
+// input that influences generation or coalescing is part of the key; two
+// equal keys therefore always denote byte-identical streams.
+type sharedKey struct {
+	layer   layers.Conv
+	grid    tiling.Grid
+	skipPad bool
+
+	reqBytes, sectorBytes, lineBytes int32
+
+	axis  streamAxis
+	index int32
+	loop  int32
+}
+
+// SharedStreamStats reports the tier's observability counters.
+type SharedStreamStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries uint64
+}
+
+// DefaultSharedStreamLimit bounds a SharedStreams tier constructed with
+// limit < 1. Entries hold one coalesced stream each (typically a few
+// hundred bytes of line runs), so the default bounds the tier to tens of
+// MB even under adversarial sweep shapes. The default is sized so one
+// generation (half the limit) holds a whole network suite's unique streams
+// — a GoogLeNet-class sweep point generates ~25k — because a tier smaller
+// than one sweep point thrashes: every point regenerates everything and
+// the tier costs more than it saves.
+const DefaultSharedStreamLimit = 1 << 16
+
+// SharedStreams is a bounded concurrency-safe stream memo. Eviction is
+// two-generational: inserts fill the young map, and when it reaches half
+// the limit the old generation is dropped and the young one retires into
+// its place — recently used streams survive (old-generation hits promote),
+// stale sweeps age out, and occupancy never exceeds the limit. Published
+// streams are immutable; readers may hold them indefinitely.
+type SharedStreams struct {
+	mu    sync.Mutex
+	young map[sharedKey]*Stream
+	old   map[sharedKey]*Stream
+	limit int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSharedStreams builds a shared stream tier bounded to roughly limit
+// entries across both generations (limit < 1 selects the default).
+func NewSharedStreams(limit int) *SharedStreams {
+	if limit < 1 {
+		limit = DefaultSharedStreamLimit
+	}
+	// Two generations of limit/2 keep total occupancy under the limit; a
+	// floor of one entry per generation keeps tiny limits functional.
+	half := limit / 2
+	if half < 1 {
+		half = 1
+	}
+	return &SharedStreams{
+		young: make(map[sharedKey]*Stream),
+		old:   make(map[sharedKey]*Stream),
+		limit: half,
+	}
+}
+
+// Stats returns a snapshot of the tier's counters.
+func (ss *SharedStreams) Stats() SharedStreamStats {
+	ss.mu.Lock()
+	entries := len(ss.young) + len(ss.old)
+	ss.mu.Unlock()
+	return SharedStreamStats{
+		Hits:    ss.hits.Load(),
+		Misses:  ss.misses.Load(),
+		Entries: uint64(entries),
+	}
+}
+
+// get returns the published stream for key, promoting old-generation hits
+// so live keys survive rotation. nil means the caller must generate (and
+// should publish via put).
+func (ss *SharedStreams) get(key sharedKey) *Stream {
+	ss.mu.Lock()
+	st, ok := ss.young[key]
+	if !ok {
+		if st, ok = ss.old[key]; ok {
+			ss.rotateIfFull()
+			ss.young[key] = st
+		}
+	}
+	ss.mu.Unlock()
+	if !ok {
+		ss.misses.Add(1)
+		return nil
+	}
+	ss.hits.Add(1)
+	return st
+}
+
+// put publishes a freshly generated stream and returns the canonical copy:
+// under a concurrent duplicate generation the first publisher wins, so
+// every consumer shares one allocation. The stream must not be mutated
+// after publication.
+func (ss *SharedStreams) put(key sharedKey, st *Stream) *Stream {
+	ss.mu.Lock()
+	if prev, ok := ss.young[key]; ok {
+		st = prev
+	} else if prev, ok := ss.old[key]; ok {
+		st = prev
+	} else {
+		ss.rotateIfFull()
+		ss.young[key] = st
+	}
+	ss.mu.Unlock()
+	return st
+}
+
+// rotateIfFull retires the young generation once it reaches the per-
+// generation limit, dropping the old one. Called with mu held.
+func (ss *SharedStreams) rotateIfFull() {
+	if len(ss.young) >= ss.limit {
+		ss.old = ss.young
+		ss.young = make(map[sharedKey]*Stream, ss.limit)
+	}
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// streamsEqual reports deep equality of two coalesced streams.
+func streamsEqual(a, b *Stream) bool {
+	if a.Requests != b.Requests || len(a.Runs) != len(b.Runs) {
+		return false
+	}
+	for i := range a.Runs {
+		if a.Runs[i] != b.Runs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSharedStreamsMatchPrivate pins the tier-backed StreamCache against a
+// private one: for every (axis, index, loop) across the corpus, both
+// granularities, and both padding modes, the shared path must return a
+// stream deep-equal to the private ring's.
+func TestSharedStreamsMatchPrivate(t *testing.T) {
+	grans := []struct{ req, sec, line int }{{128, 32, 128}, {32, 32, 128}}
+	for _, l := range streamCorpus {
+		for _, skipPad := range []bool{false, true} {
+			g := newGen(t, l, skipPad)
+			for gi, gr := range grans {
+				t.Run(fmt.Sprintf("%s/skip%v/g%d", l.Name, skipPad, gi), func(t *testing.T) {
+					priv := NewStreamCache(g, gr.req, gr.sec, gr.line, 8)
+					ss := NewSharedStreams(0)
+					shrd := NewStreamCache(g, gr.req, gr.sec, gr.line, 8)
+					shrd.SetShared(ss)
+					for loop := 0; loop < g.Grid.MainLoops(); loop++ {
+						for row := 0; row < g.Grid.Rows; row++ {
+							if !streamsEqual(priv.IFmap(row, loop), shrd.IFmap(row, loop)) {
+								t.Fatalf("ifmap(%d,%d): shared stream diverged from private", row, loop)
+							}
+						}
+						for col := 0; col < g.Grid.Cols; col++ {
+							if !streamsEqual(priv.Filter(col, loop), shrd.Filter(col, loop)) {
+								t.Fatalf("filter(%d,%d): shared stream diverged from private", col, loop)
+							}
+						}
+					}
+					if st := ss.Stats(); st.Misses == 0 || st.Entries == 0 {
+						t.Fatalf("tier never populated: %+v", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSharedStreamsCrossCacheHits is the point of the tier: a second
+// StreamCache over the same generator and geometry must hit every stream
+// the first one published, returning the canonical (pointer-identical)
+// copies without regenerating.
+func TestSharedStreamsCrossCacheHits(t *testing.T) {
+	l := streamCorpus[0]
+	g := newGen(t, l, false)
+	ss := NewSharedStreams(0)
+
+	a := NewStreamCache(g, 128, 32, 128, 8)
+	a.SetShared(ss)
+	for row := 0; row < g.Grid.Rows; row++ {
+		a.IFmap(row, 0)
+	}
+	for col := 0; col < g.Grid.Cols; col++ {
+		a.Filter(col, 0)
+	}
+	before := ss.Stats()
+
+	b := NewStreamCache(g, 128, 32, 128, 8)
+	b.SetShared(ss)
+	for row := 0; row < g.Grid.Rows; row++ {
+		if a.IFmap(row, 0) != b.IFmap(row, 0) {
+			t.Fatalf("ifmap row %d: second cache did not adopt the canonical stream", row)
+		}
+	}
+	for col := 0; col < g.Grid.Cols; col++ {
+		if a.Filter(col, 0) != b.Filter(col, 0) {
+			t.Fatalf("filter col %d: second cache did not adopt the canonical stream", col)
+		}
+	}
+	after := ss.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("second cache regenerated %d streams", after.Misses-before.Misses)
+	}
+	if wantHits := uint64(g.Grid.Rows + g.Grid.Cols); after.Hits-before.Hits < wantHits {
+		t.Errorf("second cache hit %d times, want >= %d", after.Hits-before.Hits, wantHits)
+	}
+	if after.Entries != before.Entries {
+		t.Errorf("entries changed %d -> %d on a pure re-read", before.Entries, after.Entries)
+	}
+}
+
+// TestSharedStreamsGeometryIsolation ensures the identity key covers the
+// coalescing geometry: caches with different request granularity over one
+// tier must never adopt each other's streams.
+func TestSharedStreamsGeometryIsolation(t *testing.T) {
+	l := streamCorpus[0]
+	g := newGen(t, l, false)
+	ss := NewSharedStreams(0)
+
+	wide := NewStreamCache(g, 128, 32, 128, 8)
+	wide.SetShared(ss)
+	narrow := NewStreamCache(g, 32, 32, 128, 8)
+	narrow.SetShared(ss)
+
+	w, n := wide.IFmap(0, 0), narrow.IFmap(0, 0)
+	if w == n {
+		t.Fatal("different granularities shared one canonical stream")
+	}
+	if w.Requests == n.Requests {
+		t.Skip("granularities coincidentally equal for this layer; isolation unobservable")
+	}
+}
+
+// TestSharedStreamsBounded drives more unique streams through the tier than
+// its limit and asserts occupancy stays bounded while results stay correct
+// (generation after eviction reproduces the same stream).
+func TestSharedStreamsBounded(t *testing.T) {
+	l := streamCorpus[1] // s2p2: plenty of rows and loops
+	g := newGen(t, l, false)
+	const limit = 8
+	ss := NewSharedStreams(limit)
+	sc := NewStreamCache(g, 128, 32, 128, 8)
+	sc.SetShared(ss)
+	priv := NewStreamCache(g, 128, 32, 128, 8)
+
+	for loop := 0; loop < g.Grid.MainLoops(); loop++ {
+		for row := 0; row < g.Grid.Rows; row++ {
+			if !streamsEqual(priv.IFmap(row, loop), sc.IFmap(row, loop)) {
+				t.Fatalf("ifmap(%d,%d) wrong under eviction pressure", row, loop)
+			}
+			if st := ss.Stats(); st.Entries > limit {
+				t.Fatalf("tier grew to %d entries, limit %d", st.Entries, limit)
+			}
+		}
+	}
+	uniqueStreams := uint64(g.Grid.Rows * g.Grid.MainLoops())
+	if st := ss.Stats(); st.Misses < uniqueStreams {
+		t.Fatalf("only %d misses for %d unique streams under limit %d — nothing evicted?",
+			st.Misses, uniqueStreams, limit)
+	}
+}
+
+// TestSharedStreamsConcurrent hammers one tier from per-goroutine
+// StreamCaches (the engine's worker topology) and checks every result
+// against a private reference. Run under -race this also proves the
+// publication discipline: canonical streams are never written after the
+// tier returns them.
+func TestSharedStreamsConcurrent(t *testing.T) {
+	l := streamCorpus[0]
+	g := newGen(t, l, false)
+	ss := NewSharedStreams(0)
+
+	const workers = 8
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sc := NewStreamCache(g, 128, 32, 128, 8)
+			sc.SetShared(ss)
+			mine := NewStreamCache(g, 128, 32, 128, 8)
+			for loop := 0; loop < g.Grid.MainLoops(); loop++ {
+				for i := 0; i < g.Grid.Rows+g.Grid.Cols; i++ {
+					// Stagger traversal per worker so publishers race.
+					idx := (i + seed) % (g.Grid.Rows + g.Grid.Cols)
+					if idx < g.Grid.Rows {
+						if !streamsEqual(mine.IFmap(idx, loop), sc.IFmap(idx, loop)) {
+							errs <- fmt.Errorf("worker %d: ifmap(%d,%d) diverged", seed, idx, loop)
+							return
+						}
+					} else {
+						col := idx - g.Grid.Rows
+						if !streamsEqual(mine.Filter(col, loop), sc.Filter(col, loop)) {
+							errs <- fmt.Errorf("worker %d: filter(%d,%d) diverged", seed, col, loop)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -66,7 +66,7 @@ func TestReadScenarioSim(t *testing.T) {
 	doc := `{
 	  "workloads": [{"network": "alexnet"}],
 	  "batches": [2],
-	  "sim_configs": [{"max_waves": 1, "row_major_scheduling": true}]
+	  "sim_configs": [{"max_waves": 1, "row_major_scheduling": true, "replay_partitions": 2}]
 	}`
 	sc, err := ReadScenario(strings.NewReader(doc))
 	if err != nil {
@@ -74,6 +74,9 @@ func TestReadScenarioSim(t *testing.T) {
 	}
 	if len(sc.SimConfigs) != 1 || !sc.SimConfigs[0].RowMajorScheduling || sc.SimConfigs[0].MaxWaves != 1 {
 		t.Fatalf("sim configs = %+v", sc.SimConfigs)
+	}
+	if sc.SimConfigs[0].ReplayPartitions != 2 {
+		t.Errorf("replay partitions = %d, want 2", sc.SimConfigs[0].ReplayPartitions)
 	}
 	if len(sc.Devices) != 1 || sc.Devices[0].Name != "TITAN Xp" {
 		t.Errorf("default device axis = %+v", sc.Devices)

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke of delta-server: build it, start it, submit a small
 # multi-axis scenario to the /v2 async job API, poll the job to completion,
-# check the SSE stream and a /v1 request, then scrape /metrics and assert
-# the request/job counters moved, exercise the 413 oversize-body path, and
-# rerun with tight limits to exercise 429 load shedding. Run by the CI
+# check the SSE stream and a /v1 request, run a two-point simulation sweep
+# (exercising the shared stream-cache tier and partitioned L2 replay), then
+# scrape /metrics and assert the request/job/stream counters moved, exercise
+# the 413 oversize-body path, and rerun with tight limits to exercise 429
+# load shedding. Run by the CI
 # server-e2e job and usable locally: ./scripts/server_e2e.sh
 set -euo pipefail
 
@@ -13,7 +15,7 @@ BIN="$(mktemp -d)/delta-server"
 
 go build -o "$BIN" ./cmd/delta-server
 
-"$BIN" -addr "$ADDR" &
+"$BIN" -addr "$ADDR" -replay-partitions 2 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -70,6 +72,29 @@ curl -fsS "$BASE/v1/network" -d '{"network": "alexnet", "device": "V100"}' \
   | python3 -c 'import json,sys; assert json.load(sys.stdin)["total_seconds"] > 0'
 echo "server-e2e: /v1 OK"
 
+# A simulation sweep: two sim configs over one small layer. The second
+# point re-derives the same coalesced tile streams, so the shared
+# stream-cache tier must record both misses (first point) and hits
+# (second point) by the /metrics scrape below.
+SIM_ID=$(curl -fsS "$BASE/v2/jobs" -d '{"scenario": {
+  "name": "e2e-sim",
+  "workloads": [{"name": "tiny", "layers": [{"b": 1, "ci": 16, "hi": 8, "co": 32, "hf": 3, "pad": 1}]}],
+  "devices": [{"name": "TITAN Xp"}],
+  "sim_configs": [{"max_waves": 2}, {"l2_ways": 8, "max_waves": 2}]
+}}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+STATUS=running
+for _ in $(seq 1 150); do
+  STATUS=$(curl -fsS "$BASE/v2/jobs/$SIM_ID" | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+  [ "$STATUS" != running ] && break
+  sleep 0.2
+done
+if [ "$STATUS" != done ]; then
+  echo "server-e2e: sim job ended as '$STATUS'" >&2
+  curl -fsS "$BASE/v2/jobs/$SIM_ID" >&2 || true
+  exit 1
+fi
+echo "server-e2e: sim job OK"
+
 # The /metrics scrape must show the traffic above: request counters and
 # latency histograms moved, the job sweep's 8 scenario points were counted,
 # and the pipeline cache did work.
@@ -88,9 +113,13 @@ assert total("delta_http_requests_total") > 0, "no requests counted"
 submit = "delta_http_requests_total{route=\"/v2/jobs\",method=\"POST\",code=\"202\"}"
 assert metrics.get(submit, 0) >= 1, "job submit not counted"
 assert total("delta_http_request_duration_seconds_count") > 0, "no latencies observed"
-assert metrics.get("delta_scenario_points_total", 0) >= 8, "scenario points not counted"
+assert metrics.get("delta_scenario_points_total", 0) >= 10, "scenario points not counted"
 assert metrics.get("delta_pipeline_cache_misses_total", 0) > 0, "pipeline cache never exercised"
 assert metrics.get("delta_jobs_stored", -1) >= 1, "job store gauge missing"
+assert metrics.get("delta_replay_partitions", -1) == 2, "replay-partition gauge missing"
+assert metrics.get("delta_stream_cache_misses_total", 0) > 0, "stream tier never filled"
+assert metrics.get("delta_stream_cache_hits_total", 0) > 0, "stream tier never hit"
+assert metrics.get("delta_stream_cache_entries", 0) > 0, "stream tier occupancy missing"
 print("server-e2e: /metrics OK (%d series)" % len(metrics))
 '
 
@@ -132,7 +161,9 @@ if [ "$STATUS" != 429 ] || ! grep -qi '^retry-after:' "$HDRS"; then
   exit 1
 fi
 curl -fsS "$BASE/healthz" >/dev/null  # probes survive shedding
-curl -fsS "$BASE/metrics" | grep -q 'delta_http_shed_total{reason="rate"}' || {
+# Plain grep drains the whole scrape; grep -q exits on first match and a
+# still-writing curl would fail the pipeline with SIGPIPE under pipefail.
+curl -fsS "$BASE/metrics" | grep 'delta_http_shed_total{reason="rate"}' >/dev/null || {
   echo "server-e2e: shed counter missing from /metrics" >&2
   exit 1
 }
