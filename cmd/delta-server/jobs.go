@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,15 @@ type jobStore struct {
 	// cancels in-flight sweeps.
 	base   context.Context
 	cancel context.CancelCauseFunc
+
+	// durable, when non-nil, mirrors every job lifecycle edge into the
+	// WAL-backed store and result outbox (-data-dir). nil = in-memory only;
+	// all its record methods are nil-safe.
+	durable *durability
+
+	// runners tracks in-flight runJob goroutines so shutdown can drain
+	// them into the durable store before the final snapshot.
+	runners sync.WaitGroup
 }
 
 func newJobStore(cfg jobStoreConfig) *jobStore {
@@ -92,6 +102,22 @@ func newJobStore(cfg jobStoreConfig) *jobStore {
 
 // Close cancels every running job (server shutdown).
 func (st *jobStore) Close() { st.cancel(errServerShutdown) }
+
+// drain waits up to d for in-flight sweeps to settle after Close,
+// reporting whether every runner finished within the deadline. Runners
+// observe the shutdown cancellation quickly (the stream stops between
+// points), so this is a bound on flushing the last results, not on
+// finishing the sweep.
+func (st *jobStore) drain(d time.Duration) bool {
+	done := make(chan struct{})
+	go func() { st.runners.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
 
 // occupancy reports the stored and still-running job counts. A job
 // DELETEd mid-run counts as running until its runner observes the cancel
@@ -161,13 +187,17 @@ type simLayerResponse struct {
 	TotalCTAs      int     `json:"total_ctas"`
 }
 
-// append records one streamed update and wakes SSE subscribers.
-func (j *job) append(r pointResult) {
+// append records one streamed update and wakes SSE subscribers. It
+// returns the result's dense index — the sequence number persisted with
+// it, and the resume offset contract across restarts.
+func (j *job) append(r pointResult) int {
 	j.mu.Lock()
 	j.results = append(j.results, r)
+	seq := len(j.results) - 1
 	close(j.notify)
 	j.notify = make(chan struct{})
 	j.mu.Unlock()
+	return seq
 }
 
 // finish moves the job to a terminal status.
@@ -209,9 +239,9 @@ func (st *jobStore) submit(name string, total int, cancel context.CancelCauseFun
 	if len(st.jobs) >= st.cfg.MaxJobs {
 		return nil, errStoreFull
 	}
-	id, err := newJobID()
-	if err != nil {
-		return nil, err
+	id := newJobID()
+	for _, taken := st.jobs[id]; taken; _, taken = st.jobs[id] {
+		id = newJobID()
 	}
 	j := &job{
 		id: id, name: name, total: total, created: now,
@@ -221,6 +251,21 @@ func (st *jobStore) submit(name string, total int, cancel context.CancelCauseFun
 	st.running.Add(1)
 	st.jobs[id] = j
 	return j, nil
+}
+
+// adopt inserts a recovered job under its persisted id (the durable
+// restart path). Recovery may briefly exceed MaxJobs — refusing to
+// re-adopt state the previous process accepted would break the resume
+// guarantee — so only TTL/capacity eviction of already-finished jobs
+// applies here, never a rejection.
+func (st *jobStore) adopt(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.evictLocked(st.cfg.now())
+	st.jobs[j.id] = j
+	if j.status == jobRunning {
+		st.running.Add(1)
+	}
 }
 
 // evictLocked drops finished jobs past TTL; if the store is still full it
@@ -233,6 +278,7 @@ func (st *jobStore) evictLocked(now time.Time) {
 		if expired {
 			delete(st.jobs, id)
 			st.evicted.Add(1)
+			st.durable.recordEvict(id)
 		}
 	}
 	for len(st.jobs) >= st.cfg.MaxJobs {
@@ -254,6 +300,7 @@ func (st *jobStore) evictLocked(now time.Time) {
 		}
 		delete(st.jobs, oldestID)
 		st.evicted.Add(1)
+		st.durable.recordEvict(oldestID)
 	}
 }
 
@@ -270,6 +317,7 @@ func (st *jobStore) remove(id string) (*job, bool) {
 	j, ok := st.jobs[id]
 	if ok {
 		delete(st.jobs, id)
+		st.durable.recordEvict(id)
 	}
 	return j, ok
 }
@@ -291,12 +339,24 @@ func (st *jobStore) list() []*job {
 	return out
 }
 
-func newJobID() (string, error) {
+// Entropy hooks for newJobID: randRead is swappable in tests, and
+// jobIDCounter backs the fallback ids.
+var (
+	randRead     = rand.Read
+	jobIDCounter atomic.Uint64
+)
+
+// newJobID returns a 16-hex-char random id. An entropy read failure is
+// retried once; if the source stays broken, a process-unique monotonic id
+// keeps submits working instead of surfacing a transient 500.
+func newJobID() string {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "", fmt.Errorf("generating job id: %w", err)
+	for try := 0; try < 2; try++ {
+		if _, err := randRead(b[:]); err == nil {
+			return hex.EncodeToString(b[:])
+		}
 	}
-	return hex.EncodeToString(b[:]), nil
+	return fmt.Sprintf("j%x-%d", time.Now().UnixNano(), jobIDCounter.Add(1))
 }
 
 // --- HTTP layer ---
@@ -406,17 +466,24 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	policyName := req.ErrorPolicy
+	if policyName == "" {
+		policyName = "fail_fast"
+	}
+	s.jobs.durable.recordSubmit(j, req.Scenario, policyName)
 	ch, err := s.p.Stream(ctx, sc, delta.WithStreamErrorPolicy(policy))
 	if err != nil {
 		// Expansion errors normally surface from ReadScenario above; if
 		// one slips through, release the slot (finish first, so the
-		// store's running count is balanced) and report it.
+		// store's running count is balanced) and report it. remove also
+		// truncates the durable record just written.
 		cancel(nil)
 		j.finish(jobFailed, err.Error(), s.jobs.cfg.now())
 		s.jobs.remove(j.id)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.jobs.runners.Add(1)
 	go s.runJob(ctx, j, ch, policy)
 	writeJSON(w, http.StatusAccepted, j.summary())
 }
@@ -427,10 +494,13 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // be misreported as "done" — the client asked for cancellation and must
 // see it reflected, however late it raced in.
 func (s *server) runJob(ctx context.Context, j *job, ch <-chan delta.StreamUpdate, policy delta.StreamErrorPolicy) {
+	defer s.jobs.runners.Done()
 	defer j.cancel(nil)
 	var firstErr error
 	for upd := range ch {
-		j.append(renderPoint(upd))
+		pr := renderPoint(upd)
+		seq := j.append(pr)
+		s.jobs.durable.recordResult(j.id, seq, pr)
 		if upd.Err != nil && firstErr == nil {
 			firstErr = upd.Err
 		}
@@ -438,11 +508,20 @@ func (s *server) runJob(ctx context.Context, j *job, ch <-chan delta.StreamUpdat
 	now := s.jobs.cfg.now()
 	switch {
 	case ctx.Err() != nil:
-		j.finish(jobCancelled, context.Cause(ctx).Error(), now)
+		cause := context.Cause(ctx)
+		j.finish(jobCancelled, cause.Error(), now)
+		// A shutdown cancellation is deliberately NOT a durable terminal
+		// state: the job stays "running" on disk so the next process
+		// resumes the sweep from the results persisted above.
+		if !errors.Is(cause, errServerShutdown) {
+			s.jobs.durable.recordFinish(j.id, jobCancelled, cause.Error(), now)
+		}
 	case firstErr != nil && policy == delta.StreamFailFast:
 		j.finish(jobFailed, firstErr.Error(), now)
+		s.jobs.durable.recordFinish(j.id, jobFailed, firstErr.Error(), now)
 	default:
 		j.finish(jobDone, "", now)
+		s.jobs.durable.recordFinish(j.id, jobDone, "", now)
 	}
 }
 
@@ -534,8 +613,12 @@ func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request, id stri
 
 // handleJobEvents answers GET /v2/jobs/{id}/events: a Server-Sent-Events
 // stream replaying the results so far, then following the sweep live. Each
-// result is one `event: result` frame; a terminal `event: done` frame
-// carries the final status.
+// result is one `event: result` frame carrying an `id:` line (the count of
+// results delivered through that frame); a terminal `event: done` frame
+// carries the final status. A reconnecting client sends the standard
+// Last-Event-ID header to skip the results it already has — including
+// across a server restart, since the replayed durable results occupy the
+// same dense positions.
 func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request, id string) {
 	j, ok := s.jobs.get(id)
 	if !ok {
@@ -563,17 +646,24 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request, id stri
 	defer keepAlive.Stop()
 
 	offset := 0
+	if lei := strings.TrimSpace(r.Header.Get("Last-Event-ID")); lei != "" {
+		// Ignore ids we did not mint (non-numeric or negative): the
+		// stream falls back to a full replay, which is always safe.
+		if n, err := strconv.Atoi(lei); err == nil && n > 0 {
+			offset = n
+		}
+	}
 	for {
 		status, errMsg, results, done, more := j.snapshot(offset)
-		for _, res := range results {
-			if err := writeSSE(w, "result", res); err != nil {
+		for i, res := range results {
+			if err := writeSSE(w, offset+i+1, "result", res); err != nil {
 				return
 			}
 		}
 		offset = done
 		flusher.Flush()
 		if status != jobRunning {
-			_ = writeSSE(w, "done", map[string]any{
+			_ = writeSSE(w, done, "done", map[string]any{
 				"status": string(status), "done": done, "total": j.total, "error": errMsg,
 			})
 			flusher.Flush()
@@ -592,10 +682,15 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request, id stri
 	}
 }
 
-// writeSSE emits one Server-Sent-Events frame with a JSON payload.
-func writeSSE(w http.ResponseWriter, event string, v any) error {
+// writeSSE emits one Server-Sent-Events frame with a JSON payload. id > 0
+// adds an `id:` line so reconnecting clients can resume via Last-Event-ID.
+func writeSSE(w http.ResponseWriter, id int, event string, v any) error {
 	buf, err := json.Marshal(v)
 	if err != nil {
+		return err
+	}
+	if id > 0 {
+		_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, buf)
 		return err
 	}
 	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, buf)

@@ -469,6 +469,7 @@ func TestRunJobCancelRace(t *testing.T) {
 	close(ch)
 
 	s := &server{jobs: st}
+	st.runners.Add(1)
 	s.runJob(ctx, j, ch, delta.StreamFailFast)
 	status, errMsg, _, done, _ := j.snapshot(0)
 	if status != jobCancelled {

@@ -26,6 +26,12 @@
 // DELTA_AUTH_TOKEN) puts every data endpoint behind a bearer token while
 // /healthz and /metrics stay open.
 //
+// Durability: -data-dir enables a WAL-backed job store (internal/durable)
+// — restarts re-adopt persisted jobs and resume half-finished sweeps from
+// their last completed point — plus outbox-buffered result sinks (-sink)
+// and an -fsync policy. Without -data-dir jobs are in-memory and behavior
+// is unchanged. See the README's Durability section.
+//
 // Example:
 //
 //	delta-server -addr :8080 &
@@ -45,10 +51,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"delta"
+	"delta/internal/durable"
+	"delta/internal/spec"
 )
 
 func main() {
@@ -68,6 +77,17 @@ func main() {
 			"per-client token-bucket burst (0 = 2x -rate-limit)")
 		maxInflight = flag.Int("max-inflight", 0,
 			"global concurrent-request cap; exceeding answers 503 + Retry-After (0 = uncapped)")
+
+		dataDir = flag.String("data-dir", "",
+			"durable job state directory: WAL + snapshots + result sinks; restart resumes half-finished sweeps (empty = in-memory only)")
+		fsyncMode = flag.String("fsync", "interval",
+			"WAL fsync policy with -data-dir: always | interval | never")
+		fsyncEvery = flag.Duration("fsync-interval", 0,
+			"WAL fsync cadence for -fsync=interval (0 = 100ms default)")
+		sinkFlag = flag.String("sink", "",
+			`result sink with -data-dir: "jsonl" (default), "none", inline JSON config, or @file`)
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
+			"shutdown budget for draining running jobs into the durable store")
 	)
 	flag.Parse()
 	// The env var is read after flag parsing, not wired as the flag
@@ -82,15 +102,37 @@ func main() {
 		delta.WithPipelineReplayPartitions(*replayParts))
 	jobs := newJobStore(jobStoreConfig{MaxJobs: *maxJobs, TTL: *jobTTL})
 	defer jobs.Close()
+	if *dataDir != "" {
+		mode, err := durable.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta-server:", err)
+			os.Exit(2)
+		}
+		sinkCfg, err := parseSinkFlag(*sinkFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta-server: -sink:", err)
+			os.Exit(2)
+		}
+		dur, err := openDurability(*dataDir,
+			durable.StoreOptions{Fsync: mode, FsyncInterval: *fsyncEvery}, sinkCfg, log.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta-server: opening durable store:", err)
+			os.Exit(1)
+		}
+		jobs.durable = dur
+		log.Printf("delta-server: durable jobs in %s (fsync=%s)", *dataDir, *fsyncMode)
+	}
+	handler, sv := buildServer(p, jobs, serverConfig{
+		AuthToken:   *authToken,
+		RateLimit:   *rateLimit,
+		RateBurst:   *rateBurst,
+		MaxInFlight: *maxInflight,
+		AccessLog:   log.Default(),
+	})
+	sv.resumeJobs()
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: newServerWith(p, jobs, serverConfig{
-			AuthToken:   *authToken,
-			RateLimit:   *rateLimit,
-			RateBurst:   *rateBurst,
-			MaxInFlight: *maxInflight,
-			AccessLog:   log.Default(),
-		}),
+		Addr:              *addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -101,12 +143,30 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("delta-server listening on %s", *addr)
 
+	// closeDurable drains running jobs into the WAL and compacts the store
+	// to a clean snapshot; a job interrupted mid-sweep stays "running" on
+	// disk and resumes at the next start.
+	closeDurable := func() {
+		if jobs.durable == nil {
+			return
+		}
+		jobs.Close()
+		if !jobs.drain(*drainTimeout) {
+			log.Printf("delta-server: drain timed out after %s; snapshotting what was flushed", *drainTimeout)
+		}
+		closeCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		jobs.durable.close(closeCtx)
+	}
+
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			closeDurable()
 			fmt.Fprintln(os.Stderr, "delta-server:", err)
 			os.Exit(1)
 		}
+		closeDurable()
 	case <-ctx.Done():
 		log.Print("delta-server: shutting down")
 		// Cancel running jobs first: SSE subscribers blocked on a job's
@@ -119,5 +179,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, "delta-server: shutdown:", err)
 			os.Exit(1)
 		}
+		closeDurable()
 	}
+}
+
+// parseSinkFlag resolves the -sink value: the "jsonl"/"none" shorthands,
+// an inline JSON config, or @file indirection (see internal/spec.ReadSink
+// for the document shape). Empty means the jsonl default — results land in
+// <data-dir>/results.jsonl.
+func parseSinkFlag(v string) (durable.SinkConfig, error) {
+	switch strings.TrimSpace(v) {
+	case "", "jsonl":
+		return durable.SinkConfig{Kind: "jsonl"}, nil
+	case "none":
+		return durable.SinkConfig{Kind: "none"}, nil
+	}
+	if name, ok := strings.CutPrefix(v, "@"); ok {
+		f, err := os.Open(name)
+		if err != nil {
+			return durable.SinkConfig{}, err
+		}
+		defer f.Close()
+		return spec.ReadSink(f)
+	}
+	if strings.HasPrefix(strings.TrimSpace(v), "{") {
+		return spec.ReadSink(strings.NewReader(v))
+	}
+	return durable.SinkConfig{}, fmt.Errorf("unrecognized sink %q (want jsonl, none, inline JSON, or @file)", v)
 }

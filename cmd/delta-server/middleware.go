@@ -141,6 +141,43 @@ func newServerMetrics(p *delta.Pipeline, jobs *jobStore, lim *ratelimit.Limiter,
 			"Global in-flight gate capacity.",
 			func() float64 { return float64(gate.Cap()) })
 	}
+	if d := jobs.durable; d != nil {
+		// Durable-mode metrics (-data-dir): the outbox set reads zero when
+		// no sink is configured, keeping the scrape shape stable.
+		reg.GaugeFunc("delta_outbox_depth",
+			"Result-sink outbox occupancy (events queued for flush).",
+			func() float64 { return float64(d.outboxStats().Depth) })
+		reg.GaugeFunc("delta_outbox_capacity",
+			"Result-sink outbox queue capacity.",
+			func() float64 { return float64(d.outboxStats().Capacity) })
+		reg.CounterFunc("delta_outbox_published_total",
+			"Events accepted into the result-sink outbox.",
+			func() float64 { return float64(d.outboxStats().Published) })
+		reg.CounterFunc("delta_outbox_flushed_total",
+			"Events successfully flushed to the result sink.",
+			func() float64 { return float64(d.outboxStats().Flushed) })
+		reg.CounterFunc("delta_outbox_retries_total",
+			"Result-sink flush attempts that failed and were retried.",
+			func() float64 { return float64(d.outboxStats().Retries) })
+		reg.CounterFunc("delta_outbox_dead_letters_total",
+			"Events spilled to the dead-letter file after exhausting retries.",
+			func() float64 { return float64(d.outboxStats().DeadLetters) })
+		reg.CounterFunc("delta_outbox_overflow_total",
+			"Events dead-lettered immediately because the outbox was full.",
+			func() float64 { return float64(d.outboxStats().Overflow) })
+		reg.CounterFunc("delta_wal_records_total",
+			"Records appended to the durable job WAL.",
+			func() float64 { return float64(d.storeStats().Records) })
+		reg.CounterFunc("delta_wal_compactions_total",
+			"Durable-store snapshot compactions.",
+			func() float64 { return float64(d.storeStats().Compactions) })
+		reg.GaugeFunc("delta_wal_replayed_jobs",
+			"Jobs recovered from the durable store at startup.",
+			func() float64 { return float64(d.storeStats().ReplayedJobs) })
+		reg.GaugeFunc("delta_wal_torn_bytes",
+			"Bytes dropped from the WAL's torn/corrupt tail at startup.",
+			func() float64 { return float64(d.storeStats().TornBytes) })
+	}
 	return m
 }
 

@@ -1,0 +1,272 @@
+// Durability glue: wires the /v2 job store to internal/durable. With
+// -data-dir set, every job lifecycle edge (submit, point result, terminal
+// status, eviction) is appended to a write-ahead log and mirrored into an
+// outbox-buffered result sink; at startup, persisted jobs are reloaded and
+// half-finished sweeps resume from their last completed point. Without
+// -data-dir the durability pointer stays nil and every hook below is a
+// no-op, so the in-memory behavior (and its responses) are untouched.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"path/filepath"
+	"time"
+
+	"delta"
+	"delta/internal/durable"
+	"delta/internal/spec"
+)
+
+// durability bundles the WAL-backed store with the optional result
+// outbox. All record methods are nil-receiver-safe: a nil *durability is
+// the in-memory configuration.
+type durability struct {
+	store  *durable.Store
+	outbox *durable.Outbox
+	log    *log.Logger
+}
+
+// openDurability opens the job store in dir and, when the sink config
+// names a backend, starts the retry outbox in front of it.
+func openDurability(dir string, storeOpts durable.StoreOptions, sinkCfg durable.SinkConfig, logger *log.Logger) (*durability, error) {
+	if logger == nil {
+		logger = log.Default()
+	}
+	storeOpts.Log = logger
+	st, err := durable.Open(dir, storeOpts)
+	if err != nil {
+		return nil, err
+	}
+	d := &durability{store: st, log: logger}
+	sink, err := durable.BuildSink(sinkCfg, dir)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	if sink != nil {
+		obCfg := sinkCfg.OutboxSettings()
+		obCfg.Log = logger
+		if obCfg.DeadLetterPath == "" {
+			obCfg.DeadLetterPath = filepath.Join(dir, "dead-letter.jsonl")
+		}
+		d.outbox = durable.NewOutbox(sink, obCfg)
+		logger.Printf("delta-server: result sink %s (outbox queue %d)", sink.Name(), d.outbox.Stats().Capacity)
+	}
+	return d, nil
+}
+
+// recordSubmit persists a newly accepted job (called with the raw
+// scenario document so a restart can re-expand it).
+func (d *durability) recordSubmit(j *job, scenario json.RawMessage, policy string) {
+	if d == nil {
+		return
+	}
+	if err := d.store.RecordSubmit(j.id, j.name, j.total, j.created, scenario, policy); err != nil {
+		d.log.Printf("delta-server: persisting job %s submit: %v", j.id, err)
+	}
+	if d.outbox != nil {
+		d.outbox.Publish(durable.Event{Job: j.id, Kind: "submitted", Payload: scenario})
+	}
+}
+
+// recordResult persists one streamed point result at its dense position
+// and feeds the sink. The rendered payload is marshaled once and shared
+// between the WAL and the outbox.
+func (d *durability) recordResult(id string, seq int, pr pointResult) {
+	if d == nil {
+		return
+	}
+	payload, err := json.Marshal(pr)
+	if err != nil {
+		d.log.Printf("delta-server: encoding job %s result %d: %v", id, seq, err)
+		return
+	}
+	if err := d.store.RecordResult(id, seq, payload); err != nil {
+		d.log.Printf("delta-server: persisting job %s result %d: %v", id, seq, err)
+	}
+	if d.outbox != nil {
+		d.outbox.Publish(durable.Event{Job: id, Kind: "result", Seq: seq, Payload: payload})
+	}
+}
+
+// recordFinish persists a job's terminal transition. Shutdown
+// cancellations never reach here: the job must stay "running" durably so
+// the next process resumes it (see runJob).
+func (d *durability) recordFinish(id string, status jobStatus, errMsg string, at time.Time) {
+	if d == nil {
+		return
+	}
+	if err := d.store.RecordFinish(id, string(status), errMsg, at); err != nil {
+		d.log.Printf("delta-server: persisting job %s finish: %v", id, err)
+	}
+	if d.outbox != nil {
+		payload, _ := json.Marshal(map[string]string{"status": string(status), "error": errMsg})
+		d.outbox.Publish(durable.Event{Job: id, Kind: "finished", Payload: payload})
+	}
+}
+
+// recordEvict truncates a job's durable state (TTL/capacity eviction or a
+// client DELETE discarding it).
+func (d *durability) recordEvict(id string) {
+	if d == nil {
+		return
+	}
+	if err := d.store.RecordEvict(id); err != nil {
+		d.log.Printf("delta-server: evicting job %s from durable store: %v", id, err)
+	}
+}
+
+// outboxStats is the nil-safe metrics view.
+func (d *durability) outboxStats() durable.OutboxStats {
+	if d == nil || d.outbox == nil {
+		return durable.OutboxStats{}
+	}
+	return d.outbox.Stats()
+}
+
+// storeStats is the nil-safe metrics view.
+func (d *durability) storeStats() durable.StoreStats {
+	if d == nil || d.store == nil {
+		return durable.StoreStats{}
+	}
+	return d.store.Stats()
+}
+
+// saturated reports outbox backpressure for /healthz.
+func (d *durability) saturated() bool {
+	return d != nil && d.outbox != nil && d.outbox.Saturated()
+}
+
+// close drains the outbox (one final flush attempt, then dead-letter) and
+// compacts the store into a clean snapshot. ctx bounds the outbox drain.
+func (d *durability) close(ctx context.Context) {
+	if d == nil {
+		return
+	}
+	if d.outbox != nil {
+		if err := d.outbox.Close(ctx); err != nil {
+			d.log.Printf("delta-server: closing outbox: %v", err)
+		}
+	}
+	if err := d.store.Close(); err != nil {
+		d.log.Printf("delta-server: closing durable store: %v", err)
+	}
+}
+
+// resumeJobs reloads persisted jobs into the in-memory store and
+// relaunches half-finished sweeps from their last completed point.
+// Finished jobs are restored as-is (TTL eviction applies from their
+// original finish time); running jobs re-expand their scenario — the
+// deterministic scenario.Expand order is the contract that makes
+// "skip the first len(results) points" resume exactly where the previous
+// process stopped. It returns the restored and resumed counts.
+func (s *server) resumeJobs() (restored, resumed int) {
+	d := s.jobs.durable
+	if d == nil {
+		return 0, 0
+	}
+	for _, js := range d.store.Jobs() {
+		results, dropped := decodeResults(js.Results)
+		if dropped > 0 {
+			d.log.Printf("delta-server: job %s: dropping %d undecodable persisted result(s); the sweep re-evaluates them", js.ID, dropped)
+		}
+		j := &job{
+			id: js.ID, name: js.Name, total: js.Total, created: js.Created,
+			notify:  make(chan struct{}),
+			results: results,
+			cancel:  func(error) {},
+		}
+		if js.Status != durable.StatusRunning {
+			j.status, j.errMsg, j.finished = jobStatus(js.Status), js.Error, js.Finished
+			s.jobs.adopt(j)
+			restored++
+			continue
+		}
+
+		// A half-finished sweep: adopt it as running, then either finish
+		// it from the recovered state or resume the stream.
+		policy := delta.StreamFailFast
+		if js.Policy == "collect_partial" {
+			policy = delta.StreamCollectPartial
+		}
+		ctx, cancel := context.WithCancelCause(s.jobs.base)
+		j.status, j.cancel = jobRunning, cancel
+		j.onFinish = func() { s.jobs.running.Add(-1) }
+		s.jobs.adopt(j)
+
+		finishNow := func(status jobStatus, msg string) {
+			now := s.jobs.cfg.now()
+			j.finish(status, msg, now)
+			d.recordFinish(j.id, status, msg, now)
+			cancel(nil)
+		}
+		// A fail-fast sweep whose last persisted result errored was
+		// crashing between that append and its finish record: classify it
+		// now instead of re-running anything.
+		if policy == delta.StreamFailFast {
+			if msg := firstResultError(results); msg != "" {
+				finishNow(jobFailed, msg)
+				continue
+			}
+		}
+		if len(results) >= js.Total {
+			// Crashed after the last point, before the finish record.
+			finishNow(jobDone, "")
+			continue
+		}
+		sc, err := spec.ReadScenario(bytes.NewReader(js.Scenario))
+		if err != nil {
+			finishNow(jobFailed, fmt.Sprintf("resume: re-expanding scenario: %v", err))
+			continue
+		}
+		if got := sc.Size(); got != js.Total {
+			// The registries changed shape across the restart; resuming
+			// by offset would mislabel points. Refuse loudly.
+			finishNow(jobFailed, fmt.Sprintf("resume: scenario now expands to %d points, job recorded %d", got, js.Total))
+			continue
+		}
+		ch, err := s.p.Stream(ctx, sc,
+			delta.WithStreamErrorPolicy(policy), delta.WithStreamOffset(len(results)))
+		if err != nil {
+			finishNow(jobFailed, fmt.Sprintf("resume: %v", err))
+			continue
+		}
+		s.jobs.runners.Add(1)
+		go s.runJob(ctx, j, ch, policy)
+		resumed++
+	}
+	if restored+resumed > 0 {
+		d.log.Printf("delta-server: durable store: restored %d finished job(s), resumed %d running job(s)", restored, resumed)
+	}
+	return restored, resumed
+}
+
+// decodeResults rebuilds the in-memory result list from persisted
+// payloads, truncating at the first undecodable entry so the dense
+// resume-offset contract holds (later points simply re-evaluate).
+func decodeResults(raw []json.RawMessage) (out []pointResult, dropped int) {
+	out = make([]pointResult, 0, len(raw))
+	for i, buf := range raw {
+		var pr pointResult
+		if err := json.Unmarshal(buf, &pr); err != nil {
+			return out, len(raw) - i
+		}
+		out = append(out, pr)
+	}
+	return out, 0
+}
+
+// firstResultError returns the first per-point error in the recovered
+// results (the fail-fast classification input).
+func firstResultError(results []pointResult) string {
+	for _, r := range results {
+		if r.Error != "" {
+			return r.Error
+		}
+	}
+	return ""
+}

@@ -79,6 +79,13 @@ func newServerWithJobs(p *delta.Pipeline, jobs *jobStore) http.Handler {
 // middleware chain (request ID → access log → metrics → recovery →
 // shedding → auth), with /metrics scraping the per-server registry.
 func newServerWith(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) http.Handler {
+	h, _ := buildServer(p, jobs, cfg)
+	return h
+}
+
+// buildServer is newServerWith exposing the *server too, for callers that
+// need the durable-restart hook (resumeJobs) after assembly.
+func buildServer(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) (http.Handler, *server) {
 	var lim *ratelimit.Limiter
 	if cfg.RateLimit > 0 {
 		burst := cfg.RateBurst
@@ -123,7 +130,7 @@ func newServerWith(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) http.Han
 		withRecover(s.metrics, cfg.AccessLog),
 		withShedding(s.metrics, lim, gate),
 		withAuth(s.metrics, cfg.AuthToken),
-	)
+	), s
 }
 
 // methods dispatches one route by HTTP method, answering every unlisted
@@ -341,8 +348,35 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		body["in_flight"] = s.gate.InFlight()
 		body["max_in_flight"] = s.gate.Cap()
 	}
+	// With -data-dir, surface WAL and outbox health. A saturated outbox
+	// (sink down long enough that new results spill to the dead-letter
+	// file) degrades readiness: the engine is fine, but results are being
+	// shed and an operator should know before the sink data matters.
+	outboxSaturated := false
+	if d := s.jobs.durable; d != nil {
+		ss := d.storeStats()
+		durableBody := map[string]any{
+			"wal_records":   ss.Records,
+			"compactions":   ss.Compactions,
+			"replayed_jobs": ss.ReplayedJobs,
+			"torn_bytes":    ss.TornBytes,
+		}
+		if d.outbox != nil {
+			ob := d.outboxStats()
+			outboxSaturated = d.saturated()
+			durableBody["outbox"] = map[string]any{
+				"depth":        ob.Depth,
+				"capacity":     ob.Capacity,
+				"retries":      ob.Retries,
+				"dead_letters": ob.DeadLetters,
+				"overflow":     ob.Overflow,
+				"saturated":    outboxSaturated,
+			}
+		}
+		body["durable"] = durableBody
+	}
 	status := http.StatusOK
-	if jobsFull || gateFull {
+	if jobsFull || gateFull || outboxSaturated {
 		body["status"] = "degraded"
 		status = http.StatusServiceUnavailable
 	}

@@ -489,6 +489,16 @@ func WithStreamErrorPolicy(p StreamErrorPolicy) StreamOption {
 	return pipeline.WithErrorPolicy(p)
 }
 
+// WithStreamOffset resumes a stream partway through the expansion order:
+// the first n points are skipped without evaluation and updates continue
+// from Done == n+1 with indices and Total unchanged. Because expansion
+// order is deterministic, a resumed sweep's updates are bit-identical to
+// the tail of an uninterrupted run — this is how delta-server resumes
+// half-finished durable jobs after a restart.
+func WithStreamOffset(n int) StreamOption {
+	return pipeline.WithOffset(n)
+}
+
 // Stream expands a scenario and evaluates its points through the shared
 // pipeline — each point's layers fan out across the worker pool — emitting
 // one update per point in expansion order with progress counts. Cancel ctx

@@ -1,0 +1,126 @@
+package durable
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Fault-injection helpers for pinning the durability layer's failure
+// behavior: a sink that refuses its first N flushes (retry/backoff and
+// dead-letter paths) and a WAL corruptor (torn-tail recovery). They live
+// in the package proper, not a _test file, so the delta-server tests and
+// fault drills can reuse them.
+
+// FlakySink fails its first FailFirst Flush calls, then delegates to Next
+// (or swallows events when Next is nil). Safe for concurrent use.
+type FlakySink struct {
+	// FailFirst is how many leading Flush calls fail.
+	FailFirst int
+
+	// Next receives batches once the sink recovers; nil discards them.
+	Next Sink
+
+	mu      sync.Mutex
+	calls   int
+	flushed []Event
+}
+
+func (s *FlakySink) Name() string { return "flaky" }
+
+func (s *FlakySink) Flush(ctx context.Context, events []Event) error {
+	s.mu.Lock()
+	s.calls++
+	fail := s.calls <= s.FailFirst
+	if !fail && s.Next == nil {
+		s.flushed = append(s.flushed, events...)
+	}
+	s.mu.Unlock()
+	if fail {
+		return fmt.Errorf("durable: flaky sink: injected failure %d/%d", s.calls, s.FailFirst)
+	}
+	if s.Next != nil {
+		return s.Next.Flush(ctx, events)
+	}
+	return nil
+}
+
+func (s *FlakySink) Close() error {
+	if s.Next != nil {
+		return s.Next.Close()
+	}
+	return nil
+}
+
+// Calls reports how many Flush attempts the sink has seen.
+func (s *FlakySink) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// Flushed returns the events accepted so far (nil-Next mode only).
+func (s *FlakySink) Flushed() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.flushed...)
+}
+
+// CorruptMode selects how CorruptWAL damages the target record.
+type CorruptMode int
+
+const (
+	// CorruptTruncate cuts the file mid-record (a torn append).
+	CorruptTruncate CorruptMode = iota
+
+	// CorruptFlip flips one payload byte, leaving the stored CRC stale.
+	CorruptFlip
+)
+
+// CorruptWAL damages the WAL at path: record is the 0-based frame index to
+// hit. Truncation cuts the file partway into that record; flipping inverts
+// a payload byte so the CRC check fails. Both leave every earlier record
+// intact, which is exactly the prefix recovery must keep.
+func CorruptWAL(path string, record int, mode CorruptMode) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("durable: opening WAL to corrupt: %w", err)
+	}
+	defer f.Close()
+
+	// Walk frames to the target record's offset and length.
+	var offset int64
+	var hdr [frameHeaderLen]byte
+	for i := 0; ; i++ {
+		if _, err := f.ReadAt(hdr[:], offset); err != nil {
+			return fmt.Errorf("durable: WAL has no record %d (walked %d)", record, i)
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if i == record {
+			if n == 0 {
+				return fmt.Errorf("durable: record %d has empty payload; nothing to corrupt", record)
+			}
+			switch mode {
+			case CorruptTruncate:
+				// Keep the header and half the payload: a classic torn
+				// append.
+				return f.Truncate(offset + frameHeaderLen + n/2)
+			case CorruptFlip:
+				var b [1]byte
+				at := offset + frameHeaderLen + n/2
+				if _, err := f.ReadAt(b[:], at); err != nil {
+					return fmt.Errorf("durable: reading byte to flip: %w", err)
+				}
+				b[0] ^= 0xFF
+				if _, err := f.WriteAt(b[:], at); err != nil {
+					return fmt.Errorf("durable: flipping WAL byte: %w", err)
+				}
+				return nil
+			}
+			return fmt.Errorf("durable: unknown corrupt mode %d", mode)
+		}
+		offset += frameHeaderLen + n
+	}
+}

@@ -1,0 +1,283 @@
+package durable
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OutboxConfig tunes the retry buffer; zero values take the defaults.
+type OutboxConfig struct {
+	// Queue bounds the in-memory buffer (default 1024). When it is full —
+	// a slow or down sink under a fast sweep — Publish spills straight to
+	// the dead-letter file instead of blocking the engine hot path; the
+	// saturation is visible in Stats (and from there /healthz, /metrics).
+	Queue int
+
+	// Batch caps events per sink flush (default 64).
+	Batch int
+
+	// MaxAttempts bounds flush retries per batch before the batch is
+	// dead-lettered (default 5).
+	MaxAttempts int
+
+	// BaseBackoff is the first retry delay, doubling per attempt with
+	// ±50% jitter, capped at MaxBackoff (defaults 50ms, 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// DeadLetterPath is the JSONL spill file for exhausted batches and
+	// overflow events (default dead-letter.jsonl next to nothing — set it;
+	// the server defaults it into the data dir).
+	DeadLetterPath string
+
+	// Log receives retry/dead-letter notices; nil means log.Default().
+	Log *log.Logger
+}
+
+func (c OutboxConfig) withDefaults() OutboxConfig {
+	if c.Queue <= 0 {
+		c.Queue = 1024
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.DeadLetterPath == "" {
+		c.DeadLetterPath = "dead-letter.jsonl"
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// OutboxStats is a point-in-time view of the outbox counters.
+type OutboxStats struct {
+	Depth       int    // events queued, not yet flushed
+	Capacity    int    // queue bound
+	Published   uint64 // events accepted by Publish
+	Flushed     uint64 // events the sink acknowledged
+	Retries     uint64 // failed flush attempts that were retried
+	DeadLetters uint64 // events spilled after exhausting retries
+	Overflow    uint64 // events spilled because the queue was full
+}
+
+// Outbox decouples the engine hot path from result sinks: Publish is a
+// non-blocking enqueue, and one background goroutine drains the queue in
+// batches through the sink with exponential backoff + jitter on failure.
+// Batches that exhaust their retries — and events that arrive while the
+// queue is full — spill to a dead-letter JSONL file so nothing is silently
+// lost and nothing ever stalls a sweep.
+type Outbox struct {
+	sink Sink
+	cfg  OutboxConfig
+
+	ch     chan Event
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	published   atomic.Uint64
+	flushed     atomic.Uint64
+	retries     atomic.Uint64
+	deadLetters atomic.Uint64
+	overflow    atomic.Uint64
+
+	deadMu   sync.Mutex
+	deadFile *os.File
+}
+
+// NewOutbox starts the drain goroutine over the given sink.
+func NewOutbox(sink Sink, cfg OutboxConfig) *Outbox {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	o := &Outbox{
+		sink: sink, cfg: cfg,
+		ch: make(chan Event, cfg.Queue), ctx: ctx, cancel: cancel,
+		done: make(chan struct{}),
+	}
+	go o.drain()
+	return o
+}
+
+// Publish enqueues one event without ever blocking: a full queue spills
+// the event to the dead-letter file and counts the overflow.
+func (o *Outbox) Publish(ev Event) {
+	o.published.Add(1)
+	select {
+	case o.ch <- ev:
+	default:
+		o.overflow.Add(1)
+		o.spill([]Event{ev}, "queue full")
+	}
+}
+
+// drain is the background flusher: collect a batch, flush with retries,
+// dead-letter on exhaustion, repeat.
+func (o *Outbox) drain() {
+	defer close(o.done)
+	for {
+		var first Event
+		select {
+		case first = <-o.ch:
+		case <-o.ctx.Done():
+			o.drainRemaining()
+			return
+		}
+		batch := append(make([]Event, 0, o.cfg.Batch), first)
+		for len(batch) < o.cfg.Batch {
+			select {
+			case ev := <-o.ch:
+				batch = append(batch, ev)
+			default:
+				goto flush
+			}
+		}
+	flush:
+		o.flushBatch(batch)
+	}
+}
+
+// flushBatch pushes one batch through the sink, retrying with exponential
+// backoff + jitter, spilling to the dead-letter file after MaxAttempts.
+func (o *Outbox) flushBatch(batch []Event) {
+	backoff := o.cfg.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		err := o.sink.Flush(o.ctx, batch)
+		if err == nil {
+			o.flushed.Add(uint64(len(batch)))
+			return
+		}
+		if attempt >= o.cfg.MaxAttempts {
+			o.cfg.Log.Printf("durable: outbox: %s failed %d attempts (%v); dead-lettering %d event(s)",
+				o.sink.Name(), attempt, err, len(batch))
+			o.spill(batch, err.Error())
+			return
+		}
+		o.retries.Add(1)
+		// ±50% jitter decorrelates retry storms across instances.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		select {
+		case <-time.After(sleep):
+		case <-o.ctx.Done():
+			// Shutting down mid-retry: one final immediate attempt, then
+			// spill rather than wait out the backoff schedule.
+			if ferr := o.sink.Flush(context.Background(), batch); ferr == nil {
+				o.flushed.Add(uint64(len(batch)))
+			} else {
+				o.spill(batch, ferr.Error())
+			}
+			return
+		}
+		if backoff *= 2; backoff > o.cfg.MaxBackoff {
+			backoff = o.cfg.MaxBackoff
+		}
+	}
+}
+
+// drainRemaining gives queued events one last flush attempt at close,
+// spilling whatever the sink still refuses.
+func (o *Outbox) drainRemaining() {
+	for {
+		var batch []Event
+		for len(batch) < o.cfg.Batch {
+			select {
+			case ev := <-o.ch:
+				batch = append(batch, ev)
+			default:
+				goto out
+			}
+		}
+	out:
+		if len(batch) == 0 {
+			return
+		}
+		if err := o.sink.Flush(context.Background(), batch); err == nil {
+			o.flushed.Add(uint64(len(batch)))
+		} else {
+			o.spill(batch, err.Error())
+		}
+	}
+}
+
+// spill appends events to the dead-letter JSONL file. Spill errors can
+// only be logged — the dead-letter file is the last resort.
+func (o *Outbox) spill(batch []Event, reason string) {
+	o.deadMu.Lock()
+	defer o.deadMu.Unlock()
+	if o.deadFile == nil {
+		f, err := os.OpenFile(o.cfg.DeadLetterPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			o.cfg.Log.Printf("durable: outbox: cannot open dead-letter file: %v (%d event(s) lost)",
+				err, len(batch))
+			o.deadLetters.Add(uint64(len(batch)))
+			return
+		}
+		o.deadFile = f
+	}
+	for _, ev := range batch {
+		line, err := json.Marshal(struct {
+			Event
+			Reason string `json:"dead_letter_reason"`
+		}{ev, reason})
+		if err != nil {
+			line = []byte(fmt.Sprintf(`{"dead_letter_reason":%q}`, "encoding failed: "+err.Error()))
+		}
+		line = append(line, '\n')
+		if _, err := o.deadFile.Write(line); err != nil {
+			o.cfg.Log.Printf("durable: outbox: dead-letter write failed: %v", err)
+		}
+	}
+	o.deadLetters.Add(uint64(len(batch)))
+}
+
+// Stats returns the outbox counters.
+func (o *Outbox) Stats() OutboxStats {
+	return OutboxStats{
+		Depth:       len(o.ch),
+		Capacity:    o.cfg.Queue,
+		Published:   o.published.Load(),
+		Flushed:     o.flushed.Load(),
+		Retries:     o.retries.Load(),
+		DeadLetters: o.deadLetters.Load(),
+		Overflow:    o.overflow.Load(),
+	}
+}
+
+// Saturated reports whether the queue is full — the backpressure signal
+// /healthz surfaces.
+func (o *Outbox) Saturated() bool { return len(o.ch) >= o.cfg.Queue }
+
+// Close stops the drain goroutine, gives buffered events one final flush
+// attempt (spilling the rest), and closes the sink and dead-letter file.
+// ctx bounds the wait for the drain to finish.
+func (o *Outbox) Close(ctx context.Context) error {
+	o.cancel()
+	select {
+	case <-o.done:
+	case <-ctx.Done():
+		return fmt.Errorf("durable: outbox drain timed out: %w", ctx.Err())
+	}
+	o.deadMu.Lock()
+	if o.deadFile != nil {
+		o.deadFile.Close()
+		o.deadFile = nil
+	}
+	o.deadMu.Unlock()
+	return o.sink.Close()
+}

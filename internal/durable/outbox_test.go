@@ -1,0 +1,287 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func quietLog() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func ev(job string, seq int) Event {
+	return Event{Job: job, Kind: "result", Seq: seq,
+		Payload: json.RawMessage(fmt.Sprintf(`{"seq":%d}`, seq))}
+}
+
+// waitFor polls cond until true or the deadline fails the test.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestOutboxRetriesThenFlushes: a sink failing its first flushes is
+// retried with backoff until it recovers; nothing is lost.
+func TestOutboxRetriesThenFlushes(t *testing.T) {
+	sink := &FlakySink{FailFirst: 3}
+	o := NewOutbox(sink, OutboxConfig{
+		BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+		MaxAttempts:    10,
+		DeadLetterPath: filepath.Join(t.TempDir(), "dead.jsonl"),
+		Log:            quietLog(),
+	})
+	for i := 0; i < 5; i++ {
+		o.Publish(ev("r", i))
+	}
+	waitFor(t, "flush after retries", func() bool { return o.Stats().Flushed == 5 })
+	st := o.Stats()
+	if st.Retries < 3 {
+		t.Errorf("retries = %d, want >= 3", st.Retries)
+	}
+	if st.DeadLetters != 0 || st.Overflow != 0 {
+		t.Errorf("stats = %+v, want no dead letters", st)
+	}
+	if err := o.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Flushed()); got != 5 {
+		t.Errorf("sink saw %d events, want 5", got)
+	}
+}
+
+// TestOutboxDeadLetters: a sink that never recovers dead-letters the
+// batch after MaxAttempts, spilling it to the JSONL file with the reason.
+func TestOutboxDeadLetters(t *testing.T) {
+	dead := filepath.Join(t.TempDir(), "dead.jsonl")
+	sink := &FlakySink{FailFirst: 1 << 30}
+	o := NewOutbox(sink, OutboxConfig{
+		BaseBackoff: time.Microsecond, MaxAttempts: 3,
+		DeadLetterPath: dead, Log: quietLog(),
+	})
+	o.Publish(ev("d", 0))
+	o.Publish(ev("d", 1))
+	waitFor(t, "dead letters", func() bool { return o.Stats().DeadLetters >= 2 })
+	if err := o.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.Flushed != 0 {
+		t.Errorf("flushed = %d through a dead sink", st.Flushed)
+	}
+
+	f, err := os.Open(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Job    string `json:"job"`
+			Reason string `json:"dead_letter_reason"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("dead-letter line %d: %v", lines, err)
+		}
+		if rec.Job != "d" || rec.Reason == "" {
+			t.Errorf("dead-letter line %d = %+v", lines, rec)
+		}
+	}
+	if lines != 2 {
+		t.Errorf("dead-letter lines = %d, want 2", lines)
+	}
+}
+
+// TestOutboxOverflowNeverBlocks: with the sink wedged and the queue full,
+// Publish returns immediately and overflow events spill to the
+// dead-letter file — the engine hot path must never stall on a sink.
+func TestOutboxOverflowNeverBlocks(t *testing.T) {
+	dead := filepath.Join(t.TempDir(), "dead.jsonl")
+	sink := &FlakySink{FailFirst: 1 << 30}
+	o := NewOutbox(sink, OutboxConfig{
+		Queue: 4, Batch: 2,
+		BaseBackoff: time.Hour, // wedge the drain in its first backoff
+		MaxAttempts: 100, DeadLetterPath: dead, Log: quietLog(),
+	})
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		o.Publish(ev("o", i))
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("100 publishes against a wedged sink took %v", d)
+	}
+	st := o.Stats()
+	if st.Overflow == 0 {
+		t.Error("no overflow recorded with a full queue")
+	}
+	if st.Published != 100 {
+		t.Errorf("published = %d", st.Published)
+	}
+	if !o.Saturated() {
+		t.Error("saturated queue not reported")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := o.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Every event is accounted for: flushed (close's final attempt still
+	// fails here) or dead-lettered.
+	st = o.Stats()
+	if st.Flushed+st.DeadLetters != 100 {
+		t.Errorf("flushed %d + dead %d != 100", st.Flushed, st.DeadLetters)
+	}
+}
+
+// TestOutboxConcurrentPublish exercises Publish from many goroutines
+// under -race.
+func TestOutboxConcurrentPublish(t *testing.T) {
+	sink := &FlakySink{FailFirst: 2}
+	o := NewOutbox(sink, OutboxConfig{
+		Queue: 256, BaseBackoff: time.Microsecond,
+		DeadLetterPath: filepath.Join(t.TempDir(), "dead.jsonl"), Log: quietLog(),
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				o.Publish(ev(fmt.Sprintf("g%d", g), i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := o.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.Published != 400 || st.Flushed+st.DeadLetters+st.Overflow < 400 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestHTTPSink: batches POST as JSON arrays; non-2xx answers are errors.
+func TestHTTPSink(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	fail := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fail {
+			http.Error(w, "backend down", http.StatusServiceUnavailable)
+			return
+		}
+		var batch []Event
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		got = append(got, batch...)
+	}))
+	defer ts.Close()
+
+	sink := NewHTTPSink(ts.URL, time.Second)
+	if err := sink.Flush(context.Background(), []Event{ev("h", 0)}); err == nil {
+		t.Fatal("503 flush did not error")
+	}
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	if err := sink.Flush(context.Background(), []Event{ev("h", 0), ev("h", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[1].Seq != 1 {
+		t.Errorf("server received %+v", got)
+	}
+}
+
+// TestJSONLSink: events land one per line and survive reopening.
+func TestJSONLSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out", "results.jsonl")
+	s, err := NewJSONLSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background(), []Event{ev("j", 0), ev("j", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewJSONLSink(path) // append mode
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(context.Background(), []Event{ev("j", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(buf))
+	var seqs []int
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, e.Seq)
+	}
+	if len(seqs) != 3 || seqs[2] != 2 {
+		t.Errorf("seqs = %v", seqs)
+	}
+}
+
+// TestBuildSink covers the config dispatch.
+func TestBuildSink(t *testing.T) {
+	dir := t.TempDir()
+	if s, err := BuildSink(SinkConfig{}, dir); s != nil || err != nil {
+		t.Errorf("empty config = %v, %v", s, err)
+	}
+	s, err := BuildSink(SinkConfig{Kind: "jsonl"}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, "results.jsonl")); err != nil {
+		t.Errorf("default jsonl path not in data dir: %v", err)
+	}
+	if _, err := BuildSink(SinkConfig{Kind: "http"}, dir); err == nil {
+		t.Error("http sink without url accepted")
+	}
+	if _, err := BuildSink(SinkConfig{Kind: "kafka"}, dir); err == nil {
+		t.Error("unknown sink kind accepted")
+	}
+	h, err := BuildSink(SinkConfig{Kind: "http", URL: "http://localhost:1/x"}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+}

@@ -1,0 +1,187 @@
+package durable
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Event is one result-sink item: a job lifecycle edge or one point
+// result, rendered as it was served. Events carry their own ordering
+// (Job, Seq) so downstream consumers can reassemble sweeps regardless of
+// batching.
+type Event struct {
+	Job  string `json:"job"`
+	Kind string `json:"kind"` // "submitted" | "result" | "finished"
+
+	// Seq is the result's expansion-order position (Kind "result").
+	Seq int `json:"seq,omitempty"`
+
+	// Payload is the rendered point result ("result"), the scenario
+	// document ("submitted"), or the terminal summary ("finished").
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Sink receives batches of events from the outbox. Flush must be
+// all-or-nothing per batch as far as it can manage: a returned error means
+// the outbox retries (and eventually dead-letters) the whole batch.
+type Sink interface {
+	Name() string
+	Flush(ctx context.Context, events []Event) error
+	Close() error
+}
+
+// SinkConfig is the declarative sink + outbox shape (decoded from JSON by
+// internal/spec, or built directly).
+type SinkConfig struct {
+	// Kind selects the backend: "jsonl" (append to a local file), "http"
+	// (POST JSON batches to a bulk endpoint), or "none".
+	Kind string `json:"kind"`
+
+	// Path is the JSONL output file ("jsonl"; default results.jsonl in
+	// the data dir).
+	Path string `json:"path,omitempty"`
+
+	// URL is the bulk endpoint ("http").
+	URL string `json:"url,omitempty"`
+
+	// TimeoutMS bounds one HTTP flush (default 10s).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// Outbox tuning; zero values take the OutboxConfig defaults.
+	Queue         int `json:"queue,omitempty"`
+	Batch         int `json:"batch,omitempty"`
+	MaxAttempts   int `json:"max_attempts,omitempty"`
+	BaseBackoffMS int `json:"base_backoff_ms,omitempty"`
+	MaxBackoffMS  int `json:"max_backoff_ms,omitempty"`
+}
+
+// BuildSink constructs the configured sink; dataDir anchors relative (and
+// default) JSONL paths. Kind "none" or empty returns (nil, nil).
+func BuildSink(cfg SinkConfig, dataDir string) (Sink, error) {
+	switch cfg.Kind {
+	case "", "none":
+		return nil, nil
+	case "jsonl":
+		path := cfg.Path
+		if path == "" {
+			path = "results.jsonl"
+		}
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dataDir, path)
+		}
+		return NewJSONLSink(path)
+	case "http":
+		if cfg.URL == "" {
+			return nil, fmt.Errorf("durable: http sink needs a url")
+		}
+		timeout := time.Duration(cfg.TimeoutMS) * time.Millisecond
+		if timeout <= 0 {
+			timeout = 10 * time.Second
+		}
+		return NewHTTPSink(cfg.URL, timeout), nil
+	}
+	return nil, fmt.Errorf("durable: unknown sink kind %q (want jsonl, http, or none)", cfg.Kind)
+}
+
+// OutboxSettings extracts the outbox tuning from a sink config.
+func (c SinkConfig) OutboxSettings() OutboxConfig {
+	return OutboxConfig{
+		Queue:       c.Queue,
+		Batch:       c.Batch,
+		MaxAttempts: c.MaxAttempts,
+		BaseBackoff: time.Duration(c.BaseBackoffMS) * time.Millisecond,
+		MaxBackoff:  time.Duration(c.MaxBackoffMS) * time.Millisecond,
+	}
+}
+
+// JSONLSink appends events to a local file, one JSON object per line —
+// the simplest durable result stream, tail-able and trivially ingestable.
+type JSONLSink struct {
+	path string
+	f    *os.File
+}
+
+// NewJSONLSink opens (creating if needed) the output file for appending.
+func NewJSONLSink(path string) (*JSONLSink, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating sink dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening JSONL sink: %w", err)
+	}
+	return &JSONLSink{path: path, f: f}, nil
+}
+
+func (s *JSONLSink) Name() string { return "jsonl:" + s.path }
+
+// Flush appends the batch as JSONL lines in one write, so a crash cannot
+// interleave partial batches from concurrent processes.
+func (s *JSONLSink) Flush(ctx context.Context, events []Event) error {
+	var buf bytes.Buffer
+	for _, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("durable: encoding sink event: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if _, err := s.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("durable: appending to JSONL sink: %w", err)
+	}
+	return nil
+}
+
+func (s *JSONLSink) Close() error { return s.f.Close() }
+
+// HTTPSink POSTs each batch as a JSON array to a bulk endpoint
+// (ClickHouse/Elasticsearch-shaped ingest services). Any non-2xx answer
+// is an error, so the outbox's retry/backoff policy applies.
+type HTTPSink struct {
+	url    string
+	client *http.Client
+}
+
+// NewHTTPSink builds a bulk HTTP sink with the given per-flush timeout.
+func NewHTTPSink(url string, timeout time.Duration) *HTTPSink {
+	return &HTTPSink{url: url, client: &http.Client{Timeout: timeout}}
+}
+
+func (s *HTTPSink) Name() string { return "http:" + s.url }
+
+func (s *HTTPSink) Flush(ctx context.Context, events []Event) error {
+	body, err := json.Marshal(events)
+	if err != nil {
+		return fmt.Errorf("durable: encoding sink batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("durable: building sink request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("durable: posting sink batch: %w", err)
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reusable, but never buffer an abusive
+	// error body.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("durable: sink answered %s", resp.Status)
+	}
+	return nil
+}
+
+func (s *HTTPSink) Close() error {
+	s.client.CloseIdleConnections()
+	return nil
+}

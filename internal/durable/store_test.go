@@ -1,0 +1,259 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T, dir string, opts StoreOptions) *Store {
+	t.Helper()
+	if opts.Log == nil {
+		opts.Log = log.New(os.Stderr, "", 0)
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func payload(i int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"index":%d,"value":"point-%d"}`, i, i))
+}
+
+// writeJob records a submit plus n results for job id.
+func writeJob(t *testing.T, s *Store, id string, total, results int) {
+	t.Helper()
+	if err := s.RecordSubmit(id, "job-"+id, total, time.Unix(1000, 0), json.RawMessage(`{"workloads":[]}`), "fail_fast"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < results; i++ {
+		if err := s.RecordResult(id, i, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreRoundTrip: submit/result/finish records survive a close and
+// reopen byte-for-byte, through both the WAL and the compacted snapshot.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir, StoreOptions{})
+	writeJob(t, s, "a", 4, 2)
+	if err := s.RecordFinish("b-missing", StatusDone, "", time.Unix(2000, 0)); err != nil {
+		t.Fatal(err) // unknown job: accepted and ignored
+	}
+	writeJob(t, s, "b", 3, 3)
+	if err := s.RecordFinish("b", StatusDone, "", time.Unix(2000, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(s *Store, phase string) {
+		t.Helper()
+		jobs := s.Jobs()
+		if len(jobs) != 2 {
+			t.Fatalf("%s: %d jobs, want 2", phase, len(jobs))
+		}
+		byID := map[string]*JobState{}
+		for _, js := range jobs {
+			byID[js.ID] = js
+		}
+		a, b := byID["a"], byID["b"]
+		if a == nil || b == nil {
+			t.Fatalf("%s: jobs = %+v", phase, jobs)
+		}
+		if a.Status != StatusRunning || a.Total != 4 || len(a.Results) != 2 {
+			t.Errorf("%s: job a = %+v", phase, a)
+		}
+		if string(a.Results[1]) != string(payload(1)) {
+			t.Errorf("%s: job a result 1 = %s", phase, a.Results[1])
+		}
+		if b.Status != StatusDone || len(b.Results) != 3 {
+			t.Errorf("%s: job b = %+v", phase, b)
+		}
+		if b.Finished.UnixNano() != time.Unix(2000, 0).UnixNano() {
+			t.Errorf("%s: job b finished = %v", phase, b.Finished)
+		}
+	}
+	check(s, "live")
+
+	// Reopen without a clean close: pure WAL replay (the copy simulates a
+	// crash — no final snapshot was written).
+	s.mu.Lock()
+	s.wal.Sync()
+	s.mu.Unlock()
+	replay := testStore(t, copyDir(t, dir), StoreOptions{})
+	check(replay, "wal-replay")
+	if replay.Stats().ReplayedJobs != 2 {
+		t.Errorf("replayed jobs = %d", replay.Stats().ReplayedJobs)
+	}
+
+	// Clean close writes a snapshot; reopening replays from it.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := testStore(t, dir, StoreOptions{})
+	check(reopened, "snapshot")
+}
+
+// copyDir clones a store directory so a live store's files can be
+// replayed independently (simulating a crash: no Close, no final
+// snapshot).
+func copyDir(t *testing.T, dir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestStoreEvict: evicted jobs disappear from replayed state and from the
+// next snapshot.
+func TestStoreEvict(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir, StoreOptions{})
+	writeJob(t, s, "gone", 2, 2)
+	writeJob(t, s, "kept", 2, 1)
+	if err := s.RecordEvict("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := testStore(t, dir, StoreOptions{})
+	jobs := s2.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != "kept" {
+		t.Fatalf("jobs after evict = %+v", jobs)
+	}
+}
+
+// TestStoreTornTail: a WAL truncated mid-record (kill -9 during append)
+// replays the valid prefix, reports the dropped bytes, and the reopened
+// store keeps appending cleanly.
+func TestStoreTornTail(t *testing.T) {
+	for _, mode := range []CorruptMode{CorruptTruncate, CorruptFlip} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			dir := t.TempDir()
+			s := testStore(t, dir, StoreOptions{Fsync: FsyncAlways})
+			writeJob(t, s, "j", 5, 3) // records 0..3: submit + 3 results
+			// Simulate the crash: no Close (no snapshot), corrupt the last
+			// record (index 3 = result seq 2).
+			s.mu.Lock()
+			s.wal.Close()
+			s.closed = true
+			s.mu.Unlock()
+			if err := CorruptWAL(filepath.Join(dir, walName), 3, mode); err != nil {
+				t.Fatal(err)
+			}
+
+			var logged strings.Builder
+			s2 := testStore(t, dir, StoreOptions{Log: log.New(&logged, "", 0)})
+			jobs := s2.Jobs()
+			if len(jobs) != 1 || jobs[0].Status != StatusRunning {
+				t.Fatalf("jobs = %+v", jobs)
+			}
+			if len(jobs[0].Results) != 2 {
+				t.Fatalf("results after torn tail = %d, want 2 (prefix)", len(jobs[0].Results))
+			}
+			if s2.Stats().TornBytes <= 0 {
+				t.Error("torn bytes not reported")
+			}
+			if !strings.Contains(logged.String(), "torn/corrupt") {
+				t.Errorf("torn tail not logged: %q", logged.String())
+			}
+			// The store keeps working: the lost record's slot is refillable
+			// at the same seq (resume re-evaluates from the prefix).
+			if err := s2.RecordResult("j", 2, payload(2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3 := testStore(t, dir, StoreOptions{})
+			if got := len(s3.Jobs()[0].Results); got != 3 {
+				t.Errorf("results after refill = %d, want 3", got)
+			}
+		})
+	}
+}
+
+// TestStoreCompaction: auto-compaction truncates the WAL, and replay
+// from snapshot+empty WAL matches the pre-compaction state.
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir, StoreOptions{CompactEvery: 5})
+	writeJob(t, s, "c", 10, 8) // 9 records: compacts at 5
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no auto-compaction after CompactEvery records")
+	}
+	// The WAL holds only the records appended since the last compaction.
+	s.mu.Lock()
+	walSize := s.walSize
+	s.mu.Unlock()
+	if walSize == 0 || walSize > 4*1024 {
+		t.Errorf("post-compaction WAL size = %d, want small non-zero tail", walSize)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := testStore(t, dir, StoreOptions{})
+	jobs := s2.Jobs()
+	if len(jobs) != 1 || len(jobs[0].Results) != 8 {
+		t.Fatalf("post-compaction state = %+v", jobs)
+	}
+}
+
+// TestStoreDuplicateAndGapSeqs: duplicate result seqs are no-ops and
+// gapped seqs are dropped, so Results stays dense (the resume contract).
+func TestStoreDuplicateAndGapSeqs(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir, StoreOptions{})
+	writeJob(t, s, "d", 5, 2)
+	if err := s.RecordResult("d", 1, json.RawMessage(`{"dup":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordResult("d", 4, json.RawMessage(`{"gap":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	js := s.Jobs()[0]
+	if len(js.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(js.Results))
+	}
+	if string(js.Results[1]) != string(payload(1)) {
+		t.Errorf("duplicate overwrote result: %s", js.Results[1])
+	}
+}
+
+// TestParseFsyncMode covers the flag mapping.
+func TestParseFsyncMode(t *testing.T) {
+	for in, want := range map[string]FsyncMode{
+		"": FsyncInterval, "interval": FsyncInterval,
+		"always": FsyncAlways, "never": FsyncNever,
+	} {
+		got, err := ParseFsyncMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}

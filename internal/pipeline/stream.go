@@ -57,11 +57,25 @@ type StreamOption func(*streamConfig)
 
 type streamConfig struct {
 	policy ErrorPolicy
+	offset int
 }
 
 // WithErrorPolicy selects the stream's error policy (default FailFast).
 func WithErrorPolicy(p ErrorPolicy) StreamOption {
 	return func(c *streamConfig) { c.policy = p }
+}
+
+// WithOffset resumes a stream partway through the expansion order: the
+// first n points are skipped without evaluation, and the first emitted
+// update carries Done == n+1. Point indices and the Total count are
+// unchanged, so a resumed sweep's updates are bit-identical to the tail
+// of an uninterrupted run — the contract the durable job store relies on
+// to resume half-finished sweeps after a restart (scenario.Expand order
+// is deterministic, so "the first n points" names the same points in
+// every process). A negative offset is treated as zero; an offset at or
+// past the point count yields an immediately closed stream.
+func WithOffset(n int) StreamOption {
+	return func(c *streamConfig) { c.offset = n }
 }
 
 // newStreamConfig applies the options over the defaults; Stream and
@@ -98,7 +112,12 @@ func (e *Evaluator) Stream(ctx context.Context, sc scenario.Scenario, opts ...St
 func (e *Evaluator) stream(ctx context.Context, points []scenario.Point, cfg streamConfig, out chan<- StreamUpdate) {
 	defer close(out)
 	n := len(points)
-	for i, p := range points {
+	start := cfg.offset
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < n; i++ {
+		p := points[i]
 		if ctx.Err() != nil {
 			return
 		}

@@ -171,6 +171,48 @@ func TestStreamFailFast(t *testing.T) {
 	}
 }
 
+// TestStreamOffsetResumesTail: a stream resumed with WithOffset(k) emits
+// exactly the tail of the uninterrupted run — same point indices, same
+// progress counts, bit-identical results. This is the contract the
+// durable job store relies on to resume half-finished sweeps.
+func TestStreamOffsetResumesTail(t *testing.T) {
+	sc := multiAxis()
+	full, err := New().RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 3, 7, 8, 11, -2} {
+		// A fresh evaluator per offset: resume must not depend on a warm
+		// memo (the restarted-process case).
+		tail, err := New().RunScenario(context.Background(), sc, WithOffset(k))
+		if err != nil {
+			t.Fatalf("offset %d: %v", k, err)
+		}
+		start := k
+		if start < 0 {
+			start = 0
+		}
+		if start > len(full) {
+			start = len(full)
+		}
+		if len(tail) != len(full)-start {
+			t.Fatalf("offset %d: %d updates, want %d", k, len(tail), len(full)-start)
+		}
+		for i, upd := range tail {
+			want := full[start+i]
+			if upd.Point.Index != want.Point.Index || upd.Done != want.Done || upd.Total != want.Total {
+				t.Errorf("offset %d update %d: point %d %d/%d, want point %d %d/%d",
+					k, i, upd.Point.Index, upd.Done, upd.Total,
+					want.Point.Index, want.Done, want.Total)
+			}
+			if upd.Network.Seconds != want.Network.Seconds ||
+				len(upd.Network.Results) != len(want.Network.Results) {
+				t.Errorf("offset %d update %d: result diverged from uninterrupted run", k, i)
+			}
+		}
+	}
+}
+
 // TestStreamCollectPartial keeps sweeping past failures.
 func TestStreamCollectPartial(t *testing.T) {
 	sc := scenario.Scenario{

@@ -1,0 +1,90 @@
+// Sink codec: the JSON shape of a durable result-sink configuration
+// (internal/durable). The same document drives the delta-server -sink
+// flag, inline or from a file:
+//
+//	{"kind": "jsonl", "path": "results.jsonl"}
+//	{"kind": "http", "url": "http://ingest:9200/_bulk", "batch": 128,
+//	 "max_attempts": 8, "base_backoff_ms": 100}
+//	{"kind": "none"}
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"delta/internal/durable"
+)
+
+// SinkSpec is the JSON shape of a result sink + outbox configuration. It
+// mirrors durable.SinkConfig field for field so the flag surface and the
+// library stay in lockstep.
+type SinkSpec struct {
+	Kind      string `json:"kind"`
+	Path      string `json:"path,omitempty"`
+	URL       string `json:"url,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+
+	Queue         int `json:"queue,omitempty"`
+	Batch         int `json:"batch,omitempty"`
+	MaxAttempts   int `json:"max_attempts,omitempty"`
+	BaseBackoffMS int `json:"base_backoff_ms,omitempty"`
+	MaxBackoffMS  int `json:"max_backoff_ms,omitempty"`
+}
+
+func (s SinkSpec) toModel() durable.SinkConfig {
+	return durable.SinkConfig{
+		Kind: s.Kind, Path: s.Path, URL: s.URL, TimeoutMS: s.TimeoutMS,
+		Queue: s.Queue, Batch: s.Batch, MaxAttempts: s.MaxAttempts,
+		BaseBackoffMS: s.BaseBackoffMS, MaxBackoffMS: s.MaxBackoffMS,
+	}
+}
+
+// validate rejects shapes BuildSink would only catch at wiring time,
+// keeping flag errors synchronous and specific.
+func (s SinkSpec) validate() error {
+	switch s.Kind {
+	case "", "none":
+		if s.Path != "" || s.URL != "" {
+			return fmt.Errorf("spec: sink kind %q takes no path or url", s.Kind)
+		}
+	case "jsonl":
+		if s.URL != "" {
+			return fmt.Errorf("spec: jsonl sink takes a path, not a url")
+		}
+	case "http":
+		if s.URL == "" {
+			return fmt.Errorf("spec: http sink needs a url")
+		}
+		if s.Path != "" {
+			return fmt.Errorf("spec: http sink takes a url, not a path")
+		}
+	default:
+		return fmt.Errorf("spec: unknown sink kind %q (want jsonl, http, or none)", s.Kind)
+	}
+	for name, v := range map[string]int{
+		"queue": s.Queue, "batch": s.Batch, "max_attempts": s.MaxAttempts,
+		"base_backoff_ms": s.BaseBackoffMS, "max_backoff_ms": s.MaxBackoffMS,
+		"timeout_ms": s.TimeoutMS,
+	} {
+		if v < 0 {
+			return fmt.Errorf("spec: sink %s must be non-negative, got %d", name, v)
+		}
+	}
+	return nil
+}
+
+// ReadSink parses a sink configuration document into the durable layer's
+// config shape.
+func ReadSink(r io.Reader) (durable.SinkConfig, error) {
+	var s SinkSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return durable.SinkConfig{}, fmt.Errorf("spec: parsing sink config: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return durable.SinkConfig{}, err
+	}
+	return s.toModel(), nil
+}

@@ -1,0 +1,40 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadSink covers the sink-config codec: valid shapes map field for
+// field, invalid shapes fail with specific messages.
+func TestReadSink(t *testing.T) {
+	cfg, err := ReadSink(strings.NewReader(
+		`{"kind": "http", "url": "http://ingest:9200/_bulk", "batch": 128,
+		  "max_attempts": 8, "base_backoff_ms": 100, "queue": 2048}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != "http" || cfg.URL != "http://ingest:9200/_bulk" ||
+		cfg.Batch != 128 || cfg.MaxAttempts != 8 || cfg.BaseBackoffMS != 100 || cfg.Queue != 2048 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+
+	cfg, err = ReadSink(strings.NewReader(`{"kind": "jsonl"}`))
+	if err != nil || cfg.Kind != "jsonl" {
+		t.Errorf("jsonl default = %+v, %v", cfg, err)
+	}
+
+	for body, want := range map[string]string{
+		`{"kind": "kafka"}`:                         "unknown sink kind",
+		`{"kind": "http"}`:                          "needs a url",
+		`{"kind": "http", "url": "u", "path": "p"}`: "not a path",
+		`{"kind": "jsonl", "url": "u"}`:             "not a url",
+		`{"kind": "none", "path": "p"}`:             "takes no path",
+		`{"kind": "jsonl", "batch": -1}`:            "non-negative",
+		`{"kind": "jsonl", "bogus": 1}`:             "unknown field",
+	} {
+		if _, err := ReadSink(strings.NewReader(body)); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ReadSink(%s) err = %v, want %q", body, err, want)
+		}
+	}
+}
