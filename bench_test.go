@@ -258,6 +258,11 @@ func BenchmarkScenarioStream(b *testing.B) { benchkit.ScenarioStream(b) }
 // overhead.
 func BenchmarkScenarioStreamCached(b *testing.B) { benchkit.ScenarioStreamCached(b) }
 
+// BenchmarkFleetSweep measures the distributed shape of the same sweep:
+// sharded over in-process HTTP workers and merged by a coordinator — the
+// fleet_vs_single numerator in BENCH_sim.json.
+func BenchmarkFleetSweep(b *testing.B) { benchkit.FleetSweep(b) }
+
 // --- Ablation benches (DESIGN.md §4 design choices) ---
 
 // ablationDRAMRatio evaluates the whole paper suite under a traffic-model

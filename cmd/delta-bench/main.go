@@ -75,6 +75,8 @@ type baseline struct {
 	// (cacheless) and warm (memo-cached), plus their ratio. The warm path
 	// must not lose to the cold one — a memo hit that costs more than the
 	// recompute it saves is a regression (scenario_cached_vs_cold < 1).
+	// fleet_vs_single records (not gates) the same sweep sharded across
+	// in-process fleet workers relative to the single-node cold path.
 	Throughput map[string]float64 `json:"throughput"`
 }
 
@@ -186,6 +188,14 @@ func run() int {
 	doc.Throughput["scenario_points_per_sec_cached"] = scenWarm.Metrics["points/s"]
 	cachedVsCold := scenWarm.Metrics["points/s"] / scenCold.Metrics["points/s"]
 	doc.Throughput["scenario_cached_vs_cold"] = cachedVsCold
+
+	// Distributed shape of the same sweep: sharded over in-process HTTP
+	// workers and merged by a coordinator. Recorded, not gated — the ratio
+	// mostly measures HTTP+SSE overhead vs fleet parallelism and swings
+	// with host core count.
+	fleet := run("FleetSweep", benchkit.FleetSweep)
+	doc.Throughput["fleet_points_per_sec"] = fleet.Metrics["points/s"]
+	doc.Throughput["fleet_vs_single"] = fleet.Metrics["points/s"] / scenCold.Metrics["points/s"]
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)

@@ -1,0 +1,92 @@
+// Coordinator-mode glue: with -coordinator -peers, /v2 job sweeps are
+// sharded across a fleet of delta-server workers (internal/cluster) and
+// the merged per-point stream is drained into the same job record a
+// single-node sweep fills. Workers render points with the job store's own
+// renderer, so a distributed job's results — payloads, ordering, progress
+// counts — are byte-identical to running the sweep on one node.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"delta"
+	"delta/internal/cluster"
+)
+
+// runClusterJob drains a distributed sweep into the job record, the
+// coordinator-mode counterpart of runJob. The coordinator merges worker
+// shard streams back into expansion order, so appends land exactly as the
+// single-node stream would deliver them; terminal classification mirrors
+// runJob, with coordination failures (a shard out of attempts, a merge
+// error) failing the job with their cause.
+func (s *server) runClusterJob(ctx context.Context, j *job, doc json.RawMessage, sc delta.Scenario, offset int, policy delta.StreamErrorPolicy) {
+	defer s.jobs.runners.Done()
+	defer j.cancel(nil)
+	var firstErr string
+	runErr := s.coord.Run(ctx, cluster.Sweep{
+		JobID: j.id, Doc: doc, Scenario: sc, Offset: offset, Policy: policy,
+	}, func(u cluster.Update) error {
+		var pr pointResult
+		if err := json.Unmarshal(u.Payload, &pr); err != nil {
+			return fmt.Errorf("decoding worker result %d: %w", u.Index, err)
+		}
+		seq := j.append(pr)
+		s.jobs.durable.recordResult(j.id, seq, pr)
+		if u.Err != "" && firstErr == "" {
+			firstErr = u.Err
+		}
+		return nil
+	})
+	now := s.jobs.cfg.now()
+	switch {
+	case ctx.Err() != nil:
+		cause := context.Cause(ctx)
+		j.finish(jobCancelled, cause.Error(), now)
+		// Like runJob: a shutdown cancellation stays "running" durably so
+		// the next process resumes the sweep from the merged prefix.
+		if !errors.Is(cause, errServerShutdown) {
+			s.jobs.durable.recordFinish(j.id, jobCancelled, cause.Error(), now)
+		}
+	case runErr != nil:
+		j.finish(jobFailed, runErr.Error(), now)
+		s.jobs.durable.recordFinish(j.id, jobFailed, runErr.Error(), now)
+	case firstErr != "" && policy == delta.StreamFailFast:
+		// The merger stopped emitting at the failing point; the stored
+		// prefix matches a single-node fail-fast run.
+		j.finish(jobFailed, firstErr, now)
+		s.jobs.durable.recordFinish(j.id, jobFailed, firstErr, now)
+	default:
+		j.finish(jobDone, "", now)
+		s.jobs.durable.recordFinish(j.id, jobDone, "", now)
+	}
+}
+
+// parsePeersFlag resolves -peers: a comma-separated list of worker base
+// URLs, or @file with one peer per line (blank lines and # comments
+// skipped).
+func parsePeersFlag(v string) ([]string, error) {
+	v = strings.TrimSpace(v)
+	sep := ","
+	if name, ok := strings.CutPrefix(v, "@"); ok {
+		buf, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		v, sep = string(buf), "\n"
+	}
+	var peers []string
+	for _, p := range strings.Split(v, sep) {
+		if p = strings.TrimSpace(p); p != "" && !strings.HasPrefix(p, "#") {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("no workers named")
+	}
+	return peers, nil
+}

@@ -1,0 +1,318 @@
+// Fleet-mode tests: real worker servers (full middleware stack) behind a
+// real coordinator server, exercising the distributed /v2 job path — the
+// in-process half of the distributed-sweep acceptance criteria. The
+// contract under test: a coordinated sweep's stored results are
+// byte-identical to the same scenario run on one node, through worker
+// failure and reassignment, with the fleet metrics and /healthz quorum
+// view reflecting what happened.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"delta"
+	"delta/internal/durable"
+)
+
+// startFleetWorker brings up one single-node delta-server to serve
+// /v2/shards for a coordinator.
+func startFleetWorker(t *testing.T, token string) *httptest.Server {
+	t.Helper()
+	st := newJobStore(jobStoreConfig{})
+	t.Cleanup(st.Close)
+	ts := httptest.NewServer(newServerWith(delta.NewPipeline(), st, serverConfig{AuthToken: token}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// startFleetCoordinator brings up a coordinator-mode server over peers.
+// The tiny retry backoff keeps reassignment tests fast.
+func startFleetCoordinator(t *testing.T, st *jobStore, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	if st == nil {
+		st = newJobStore(jobStoreConfig{})
+		t.Cleanup(st.Close)
+	}
+	if cfg.ShardRetryBackoff == 0 {
+		cfg.ShardRetryBackoff = 2 * time.Millisecond
+	}
+	cfg.AccessLog = quietLogger()
+	handler, _, err := buildServer(delta.NewPipeline(), st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// metricValue scrapes ts's /metrics and sums every series of name (all
+// label combinations); ok reports whether any series was present.
+func metricValue(t *testing.T, ts *httptest.Server, name string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sum, found := 0.0, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	return sum, found
+}
+
+// TestFleetJobBitIdentical is the core acceptance criterion: the same
+// scenario submitted to a 2-worker fleet and to a single node must store
+// byte-identical result lists.
+func TestFleetJobBitIdentical(t *testing.T) {
+	single, _ := jobTestServer(t, jobStoreConfig{})
+	refSum := submitJob(t, single, multiAxisJob)
+	ref := pollJob(t, single, refSum.ID)
+	if ref.Status != string(jobDone) || len(ref.Results) != 8 {
+		t.Fatalf("single-node reference = %s, %d results", ref.Status, len(ref.Results))
+	}
+
+	w1, w2 := startFleetWorker(t, ""), startFleetWorker(t, "")
+	coord := startFleetCoordinator(t, nil, serverConfig{Peers: []string{w1.URL, w2.URL}})
+	sum := submitJob(t, coord, multiAxisJob)
+	got := pollJob(t, coord, sum.ID)
+	if got.Status != string(jobDone) {
+		t.Fatalf("fleet job = %s (err %q)", got.Status, got.Error)
+	}
+
+	want, _ := json.Marshal(ref.Results)
+	have, _ := json.Marshal(got.Results)
+	if string(want) != string(have) {
+		t.Fatalf("fleet results diverge from single-node:\n  want %s\n  have %s", want, have)
+	}
+
+	if v, ok := metricValue(t, coord, "delta_cluster_points_merged_total"); !ok || v != 8 {
+		t.Errorf("points merged = %v, %v (want 8)", v, ok)
+	}
+	if v, _ := metricValue(t, coord, "delta_cluster_shards_in_flight"); v != 0 {
+		t.Errorf("shards in flight after completion = %v", v)
+	}
+	if v, ok := metricValue(t, coord, "delta_cluster_peers"); !ok || v != 2 {
+		t.Errorf("peer gauge = %v, %v (want 2)", v, ok)
+	}
+}
+
+// TestFleetReassignsDeadWorker: one peer is permanently down (connection
+// refused); its shards must reassign to the live worker, the sweep must
+// still complete byte-identically, and the retry counter must move.
+func TestFleetReassignsDeadWorker(t *testing.T) {
+	single, _ := jobTestServer(t, jobStoreConfig{})
+	ref := pollJob(t, single, submitJob(t, single, multiAxisJob).ID)
+
+	live := startFleetWorker(t, "")
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // the URL now refuses connections
+	coord := startFleetCoordinator(t, nil, serverConfig{Peers: []string{dead.URL, live.URL}})
+
+	got := pollJob(t, coord, submitJob(t, coord, multiAxisJob).ID)
+	if got.Status != string(jobDone) {
+		t.Fatalf("fleet job with dead worker = %s (err %q)", got.Status, got.Error)
+	}
+	want, _ := json.Marshal(ref.Results)
+	have, _ := json.Marshal(got.Results)
+	if string(want) != string(have) {
+		t.Fatal("results with a dead worker diverge from single-node")
+	}
+	if v, ok := metricValue(t, coord, "delta_cluster_shard_retries_total"); !ok || v == 0 {
+		t.Errorf("shard retries = %v, %v (want > 0)", v, ok)
+	}
+}
+
+// TestFleetAuthForwarded: with bearer auth on, the coordinator must
+// forward its token to workers; a sweep completes end to end.
+func TestFleetAuthForwarded(t *testing.T) {
+	const token = "fleet-secret"
+	w := startFleetWorker(t, token)
+	coord := startFleetCoordinator(t, nil, serverConfig{AuthToken: token, Peers: []string{w.URL}})
+
+	do := func(method, url, body string) *http.Response {
+		t.Helper()
+		var rd *strings.Reader
+		if body == "" {
+			rd = strings.NewReader("")
+		} else {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp := do(http.MethodPost, coord.URL+"/v2/jobs", multiAxisJob)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var sum jobSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var jr jobResponse
+		resp := do(http.MethodGet, coord.URL+"/v2/jobs/"+sum.ID, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status = %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status != string(jobRunning) {
+			if jr.Status != string(jobDone) || len(jr.Results) != 8 {
+				t.Fatalf("authed fleet job = %s (err %q), %d results", jr.Status, jr.Error, len(jr.Results))
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFleetHealthQuorum: /healthz reports per-peer reachability and flips
+// to degraded 503 when a majority of workers is unreachable.
+func TestFleetHealthQuorum(t *testing.T) {
+	w1, w2 := startFleetWorker(t, ""), startFleetWorker(t, "")
+	healthy := startFleetCoordinator(t, nil, serverConfig{Peers: []string{w1.URL, w2.URL}})
+	var body struct {
+		Status string `json:"status"`
+		Fleet  struct {
+			Quorum bool `json:"quorum"`
+			Peers  []struct {
+				Peer string `json:"peer"`
+				OK   bool   `json:"ok"`
+			} `json:"peers"`
+		} `json:"fleet"`
+	}
+	resp := postGet(t, healthy.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK || body.Status != "ok" || !body.Fleet.Quorum || len(body.Fleet.Peers) != 2 {
+		t.Fatalf("healthy fleet: status %d, body %+v", resp.StatusCode, body)
+	}
+
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead1.Close()
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	dead2.Close()
+	degraded := startFleetCoordinator(t, nil, serverConfig{Peers: []string{dead1.URL, dead2.URL, w1.URL}})
+	resp, err := http.Get(degraded.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body.Fleet.Peers = nil
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || body.Status != "degraded" || body.Fleet.Quorum {
+		t.Fatalf("majority-dead fleet: status %d, body %+v", resp.StatusCode, body)
+	}
+	up := 0
+	for _, p := range body.Fleet.Peers {
+		if p.OK {
+			up++
+		}
+	}
+	if up != 1 {
+		t.Errorf("peers up = %d (want 1)", up)
+	}
+}
+
+// TestFleetDurableShardRecords: a durable coordinator audits the shard
+// lifecycle in the job WAL — every shard reaches "done" on a completed
+// sweep.
+func TestFleetDurableShardRecords(t *testing.T) {
+	d := openTestDurability(t, t.TempDir(), durable.SinkConfig{Kind: "none"})
+	defer d.close(t.Context())
+	st := newJobStore(jobStoreConfig{})
+	st.durable = d
+	t.Cleanup(st.Close)
+	w := startFleetWorker(t, "")
+	coord := startFleetCoordinator(t, st, serverConfig{Peers: []string{w.URL}})
+
+	got := pollJob(t, coord, submitJob(t, coord, multiAxisJob).ID)
+	if got.Status != string(jobDone) {
+		t.Fatalf("durable fleet job = %s (err %q)", got.Status, got.Error)
+	}
+	js := findDurableJob(t, d, got.ID)
+	if js.Status != durable.StatusDone || len(js.Results) != 8 {
+		t.Fatalf("durable state: status %s, %d results", js.Status, len(js.Results))
+	}
+	if len(js.Shards) == 0 {
+		t.Fatal("no shard records in the job WAL")
+	}
+	covered := 0
+	for idx, sh := range js.Shards {
+		if sh.Status != durable.ShardDone {
+			t.Errorf("shard %d status = %s (want done)", idx, sh.Status)
+		}
+		if sh.Peer == "" || sh.Attempts < 1 {
+			t.Errorf("shard %d missing peer/attempt: %+v", idx, sh)
+		}
+		covered += sh.Count
+	}
+	if covered != 8 {
+		t.Errorf("shard records cover %d points (want 8)", covered)
+	}
+}
+
+// TestParsePeersFlag covers the two -peers spellings.
+func TestParsePeersFlag(t *testing.T) {
+	got, err := parsePeersFlag(" a:8080, http://b:9090 ,, ")
+	if err != nil || len(got) != 2 || got[0] != "a:8080" || got[1] != "http://b:9090" {
+		t.Fatalf("inline list = %v, %v", got, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "peers")
+	if err := os.WriteFile(path, []byte("# fleet\nhost1:8080\n\n  host2:8080  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = parsePeersFlag("@" + path)
+	if err != nil || len(got) != 2 || got[0] != "host1:8080" || got[1] != "host2:8080" {
+		t.Fatalf("@file list = %v, %v", got, err)
+	}
+
+	if _, err := parsePeersFlag(""); err == nil {
+		t.Error("empty -peers did not error")
+	}
+	if _, err := parsePeersFlag("@" + filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing @file did not error")
+	}
+}

@@ -471,6 +471,15 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		policyName = "fail_fast"
 	}
 	s.jobs.durable.recordSubmit(j, req.Scenario, policyName)
+	if s.coord != nil {
+		// Coordinator mode: shard the sweep across the worker fleet. The
+		// raw scenario document travels to workers verbatim; expansion
+		// errors already 400'd via ReadScenario above.
+		s.jobs.runners.Add(1)
+		go s.runClusterJob(ctx, j, req.Scenario, sc, 0, policy)
+		writeJSON(w, http.StatusAccepted, j.summary())
+		return
+	}
 	ch, err := s.p.Stream(ctx, sc, delta.WithStreamErrorPolicy(policy))
 	if err != nil {
 		// Expansion errors normally surface from ReadScenario above; if

@@ -32,6 +32,14 @@
 // and an -fsync policy. Without -data-dir jobs are in-memory and behavior
 // is unchanged. See the README's Durability section.
 //
+// Distributed sweeps: every delta-server also serves POST /v2/shards, the
+// worker half of fleet mode — a scenario window streamed back as SSE
+// result frames. With -coordinator -peers=<list|@file>, submitted /v2
+// jobs are instead sharded across those workers (internal/cluster) and
+// merged back in expansion order, byte-identical to a single-node run;
+// failed workers' shards are reassigned with bounded retries. See the
+// README's "Distributed sweeps" section.
+//
 // Example:
 //
 //	delta-server -addr :8080 &
@@ -88,6 +96,17 @@ func main() {
 			`result sink with -data-dir: "jsonl" (default), "none", inline JSON config, or @file`)
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"shutdown budget for draining running jobs into the durable store")
+
+		coordinator = flag.Bool("coordinator", false,
+			"shard /v2 job sweeps across a worker fleet (-peers) instead of evaluating them locally")
+		peersFlag = flag.String("peers", "",
+			"worker base URLs for -coordinator: comma-separated list, or @file with one per line")
+		shardsPerPeer = flag.Int("shards-per-peer", 0,
+			"shards per worker when coordinating (0 = default 4)")
+		shardAttempts = flag.Int("shard-attempts", 0,
+			"dispatch attempts per shard before a coordinated sweep fails (0 = default max(3, peers+1))")
+		shardTimeout = flag.Duration("shard-timeout", 0,
+			"bound on one shard attempt when coordinating (0 = default 10m)")
 	)
 	flag.Parse()
 	// The env var is read after flag parsing, not wired as the flag
@@ -95,6 +114,21 @@ func main() {
 	// output, leaking the live token into logs.
 	if *authToken == "" {
 		*authToken = os.Getenv("DELTA_AUTH_TOKEN")
+	}
+	var peers []string
+	switch {
+	case *coordinator && *peersFlag == "":
+		fmt.Fprintln(os.Stderr, "delta-server: -coordinator requires -peers")
+		os.Exit(2)
+	case !*coordinator && *peersFlag != "":
+		fmt.Fprintln(os.Stderr, "delta-server: -peers requires -coordinator")
+		os.Exit(2)
+	case *coordinator:
+		var err error
+		if peers, err = parsePeersFlag(*peersFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "delta-server: -peers:", err)
+			os.Exit(2)
+		}
 	}
 
 	p := delta.NewPipeline(
@@ -122,13 +156,24 @@ func main() {
 		jobs.durable = dur
 		log.Printf("delta-server: durable jobs in %s (fsync=%s)", *dataDir, *fsyncMode)
 	}
-	handler, sv := buildServer(p, jobs, serverConfig{
-		AuthToken:   *authToken,
-		RateLimit:   *rateLimit,
-		RateBurst:   *rateBurst,
-		MaxInFlight: *maxInflight,
-		AccessLog:   log.Default(),
+	handler, sv, err := buildServer(p, jobs, serverConfig{
+		AuthToken:     *authToken,
+		RateLimit:     *rateLimit,
+		RateBurst:     *rateBurst,
+		MaxInFlight:   *maxInflight,
+		AccessLog:     log.Default(),
+		Peers:         peers,
+		ShardsPerPeer: *shardsPerPeer,
+		ShardAttempts: *shardAttempts,
+		ShardTimeout:  *shardTimeout,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "delta-server:", err)
+		os.Exit(2)
+	}
+	if len(peers) > 0 {
+		log.Printf("delta-server: coordinator mode, %d worker(s)", len(peers))
+	}
 	sv.resumeJobs()
 	srv := &http.Server{
 		Addr:              *addr,

@@ -47,7 +47,7 @@ func openPath(path string) bool {
 func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/metrics", "/v1/devices", "/v1/networks",
-		"/v1/estimate", "/v1/network", "/v1/explore", "/v2/jobs":
+		"/v1/estimate", "/v1/network", "/v1/explore", "/v2/jobs", "/v2/shards":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/v2/jobs/"); ok {
@@ -326,12 +326,13 @@ func withShedding(m *serverMetrics, lim *ratelimit.Limiter, gate *ratelimit.Gate
 					return
 				}
 			}
-			// SSE event streams live as long as their job and would pin
-			// gate slots indefinitely (a handful of idle subscribers must
-			// not 503 the whole server); they are rate-limited above but
+			// SSE streams — job event subscriptions and shard result
+			// streams — live as long as their work and would pin gate
+			// slots indefinitely (a handful of idle subscribers must not
+			// 503 the whole server); they are rate-limited above but
 			// exempt from the in-flight cap, which guards compute-bound
 			// request handling.
-			if routeLabel(r.URL.Path) == "/v2/jobs/{id}/events" {
+			if route := routeLabel(r.URL.Path); route == "/v2/jobs/{id}/events" || route == "/v2/shards" {
 				next.ServeHTTP(w, r)
 				return
 			}

@@ -109,6 +109,18 @@ func (d *durability) recordFinish(id string, status jobStatus, errMsg string, at
 	}
 }
 
+// RecordShard persists one distributed-shard lifecycle transition
+// (dispatched / done / failed, with the peer and attempt number). It
+// implements cluster.Recorder, so coordinator mode audits every shard
+// hand-off in the job WAL. Exported shape aside, it is nil-safe like the
+// other hooks: in-memory coordinators simply skip recording.
+func (d *durability) RecordShard(job string, shard, offset, count int, peer string, attempt int, status string) error {
+	if d == nil {
+		return nil
+	}
+	return d.store.RecordShard(job, shard, offset, count, peer, attempt, status)
+}
+
 // recordEvict truncates a job's durable state (TTL/capacity eviction or a
 // client DELETE discarding it).
 func (d *durability) recordEvict(id string) {
@@ -227,6 +239,15 @@ func (s *server) resumeJobs() (restored, resumed int) {
 			// The registries changed shape across the restart; resuming
 			// by offset would mislabel points. Refuse loudly.
 			finishNow(jobFailed, fmt.Sprintf("resume: scenario now expands to %d points, job recorded %d", got, js.Total))
+			continue
+		}
+		if s.coord != nil {
+			// Coordinator mode resumes like single-node: only the points
+			// past the merged prefix are re-dispatched (Sweep.Offset), so
+			// a restart never recomputes or duplicates merged results.
+			s.jobs.runners.Add(1)
+			go s.runClusterJob(ctx, j, js.Scenario, sc, len(results), policy)
+			resumed++
 			continue
 		}
 		ch, err := s.p.Stream(ctx, sc,

@@ -31,7 +31,10 @@ func durableTestServer(t *testing.T, d *durability, cfg jobStoreConfig) (*httpte
 	t.Helper()
 	st := newJobStore(cfg)
 	st.durable = d
-	handler, sv := buildServer(delta.NewPipeline(), st, serverConfig{})
+	handler, sv, err := buildServer(delta.NewPipeline(), st, serverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(handler)
 	t.Cleanup(ts.Close)
 	t.Cleanup(st.Close)

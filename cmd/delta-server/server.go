@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"delta"
+	"delta/internal/cluster"
 	"delta/internal/ratelimit"
 	"delta/internal/spec"
 )
@@ -52,6 +53,23 @@ type serverConfig struct {
 
 	// AccessLog receives one line per request; nil disables logging.
 	AccessLog *log.Logger
+
+	// Peers enables coordinator mode: /v2 job sweeps are sharded across
+	// these delta-server workers (their /v2/shards endpoints) and merged
+	// back in expansion order instead of evaluated locally. The /v1
+	// endpoints still answer from the local pipeline. Workers are assumed
+	// to share AuthToken; empty Peers is single-node mode.
+	Peers []string
+
+	// ShardsPerPeer / ShardAttempts / ShardTimeout tune coordinator
+	// sharding (0 takes the cluster defaults: 4, max(3, peers+1), 10m).
+	ShardsPerPeer int
+	ShardAttempts int
+	ShardTimeout  time.Duration
+
+	// ShardRetryBackoff overrides the reassignment and reconnect backoff
+	// base (0 = cluster defaults); tests shrink it.
+	ShardRetryBackoff time.Duration
 }
 
 // server routes requests into one shared pipeline, so concurrent clients
@@ -63,6 +81,10 @@ type server struct {
 	limiter   *ratelimit.Limiter
 	gate      *ratelimit.Gate
 	keepAlive time.Duration
+
+	// coord is non-nil in coordinator mode (serverConfig.Peers): /v2 job
+	// sweeps fan out across the fleet instead of the local pipeline.
+	coord *cluster.Coordinator
 }
 
 // newServer returns the delta-server HTTP handler with default hardening
@@ -79,13 +101,19 @@ func newServerWithJobs(p *delta.Pipeline, jobs *jobStore) http.Handler {
 // middleware chain (request ID → access log → metrics → recovery →
 // shedding → auth), with /metrics scraping the per-server registry.
 func newServerWith(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) http.Handler {
-	h, _ := buildServer(p, jobs, cfg)
+	h, _, err := buildServer(p, jobs, cfg)
+	if err != nil {
+		// Only a malformed Peers list errors; callers without one (every
+		// in-package test and the single-node path) cannot reach this.
+		panic(err)
+	}
 	return h
 }
 
 // buildServer is newServerWith exposing the *server too, for callers that
-// need the durable-restart hook (resumeJobs) after assembly.
-func buildServer(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) (http.Handler, *server) {
+// need the durable-restart hook (resumeJobs) after assembly. It errors
+// only on a malformed coordinator config (bad Peers entry).
+func buildServer(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) (http.Handler, *server, error) {
 	var lim *ratelimit.Limiter
 	if cfg.RateLimit > 0 {
 		burst := cfg.RateBurst
@@ -108,6 +136,31 @@ func buildServer(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) (http.Hand
 	if s.keepAlive <= 0 {
 		s.keepAlive = defaultSSEKeepAlive
 	}
+	if len(cfg.Peers) > 0 {
+		var rec cluster.Recorder
+		if jobs.durable != nil {
+			rec = jobs.durable
+		}
+		coord, err := cluster.New(cluster.Config{
+			Peers:         cfg.Peers,
+			ShardsPerPeer: cfg.ShardsPerPeer,
+			MaxAttempts:   cfg.ShardAttempts,
+			ShardTimeout:  cfg.ShardTimeout,
+			RetryBackoff:  cfg.ShardRetryBackoff,
+			ClientBackoff: cfg.ShardRetryBackoff,
+			Token:         cfg.AuthToken,
+			Metrics:       cluster.NewMetrics(s.metrics.reg),
+			Recorder:      rec,
+			Log:           cfg.AccessLog,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		s.coord = coord
+		s.metrics.reg.GaugeFunc("delta_cluster_peers",
+			"Workers in the coordinator's configured fleet.",
+			func() float64 { return float64(len(coord.Peers())) })
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", methods{http.MethodGet: s.handleHealth}.dispatch)
 	mux.HandleFunc("/metrics", methods{
@@ -123,6 +176,13 @@ func buildServer(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) (http.Hand
 		http.MethodGet:  s.handleJobList,
 	}.dispatch)
 	mux.HandleFunc("/v2/jobs/", s.routeJob)
+	// Every delta-server is a capable fleet worker: /v2/shards streams a
+	// scenario window as SSE result frames (see internal/cluster). The
+	// handler renders points exactly like the job store, so coordinated
+	// sweeps merge to byte-identical results.
+	mux.Handle("/v2/shards", &cluster.ShardHandler{
+		Eval: p, Render: shardPayload, KeepAlive: s.keepAlive, MaxBody: maxBodyBytes,
+	})
 	return chain(mux,
 		withRequestID(),
 		withAccessLog(cfg.AccessLog),
@@ -130,7 +190,14 @@ func buildServer(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) (http.Hand
 		withRecover(s.metrics, cfg.AccessLog),
 		withShedding(s.metrics, lim, gate),
 		withAuth(s.metrics, cfg.AuthToken),
-	), s
+	), s, nil
+}
+
+// shardPayload renders one stream update for the /v2/shards protocol —
+// the same renderPoint shape /v2 jobs store, which is what makes
+// distributed job results byte-identical to single-node ones.
+func shardPayload(upd delta.StreamUpdate) (json.RawMessage, error) {
+	return json.Marshal(renderPoint(upd))
 }
 
 // methods dispatches one route by HTTP method, answering every unlisted
@@ -375,8 +442,20 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 		body["durable"] = durableBody
 	}
+	// In coordinator mode, probe the fleet: losing quorum (a majority of
+	// workers unreachable or degraded) flips readiness so load balancers
+	// stop routing sweeps to a coordinator that cannot spread them.
+	quorumLost := false
+	if s.coord != nil {
+		sts := s.coord.PeerHealth(r.Context())
+		quorumLost = !cluster.Quorum(sts)
+		body["fleet"] = map[string]any{
+			"peers":  sts,
+			"quorum": !quorumLost,
+		}
+	}
 	status := http.StatusOK
-	if jobsFull || gateFull || outboxSaturated {
+	if jobsFull || gateFull || outboxSaturated || quorumLost {
 		body["status"] = "degraded"
 		status = http.StatusServiceUnavailable
 	}

@@ -499,6 +499,16 @@ func WithStreamOffset(n int) StreamOption {
 	return pipeline.WithOffset(n)
 }
 
+// WithStreamLimit bounds how many points a stream emits after the
+// offset: the sweep stops once n updates are sent, with Done/Total and
+// point indices still global. An offset+limit window is therefore
+// bit-identical to the same slice of an unbounded run, which is what
+// lets distributed sweeps shard a scenario's index space across workers
+// and merge the pieces back losslessly. Negative means unlimited.
+func WithStreamLimit(n int) StreamOption {
+	return pipeline.WithLimit(n)
+}
+
 // Stream expands a scenario and evaluates its points through the shared
 // pipeline — each point's layers fan out across the worker pool — emitting
 // one update per point in expansion order with progress counts. Cancel ctx

@@ -1,0 +1,78 @@
+// Fleet-vs-single benchmark body: the distributed shape of the
+// scenario-throughput benchmark. ScenarioSweep is sharded over in-process
+// HTTP workers (cluster.ShardHandler over a cacheless pipeline each, the
+// same evaluator shape ScenarioStream measures) and merged back by a
+// coordinator, so the BENCH_sim.json fleet_vs_single ratio records what
+// the HTTP + SSE + merge overhead costs — or what fleet parallelism pays —
+// relative to a single node on the identical workload.
+package benchkit
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"delta/internal/cluster"
+	"delta/internal/pipeline"
+	"delta/internal/spec"
+)
+
+// FleetWorkers is the in-process worker count of the fleet-vs-single pair.
+const FleetWorkers = 2
+
+// fleetScenarioDoc is ScenarioSweep spelled as the spec document workers
+// decode (kept in sync with ScenarioSweep's axes).
+const fleetScenarioDoc = `{
+  "name": "bench",
+  "workloads": [{"network": "alexnet"}, {"network": "googlenet"}],
+  "devices": [{"name": "TITAN Xp"}, {"name": "V100"}],
+  "batches": [32],
+  "models": ["delta", "prior", "roofline"]
+}`
+
+// FleetSweep streams the canonical multi-axis sweep through a coordinator
+// fronting FleetWorkers shard-serving workers, reporting merged end-to-end
+// points/s.
+func FleetSweep(b *testing.B) {
+	b.ReportAllocs()
+	sc, err := spec.ReadScenario(strings.NewReader(fleetScenarioDoc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers := make([]string, FleetWorkers)
+	for i := range peers {
+		ts := httptest.NewServer(&cluster.ShardHandler{
+			Eval: pipeline.New(pipeline.WithoutCache()),
+		})
+		defer ts.Close()
+		peers[i] = ts.URL
+	}
+	coord, err := cluster.New(cluster.Config{
+		Peers: peers,
+		Log:   log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := json.RawMessage(fleetScenarioDoc)
+	points := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := coord.Run(context.Background(), cluster.Sweep{
+			Doc: doc, Scenario: sc, Policy: pipeline.CollectPartial,
+		}, func(cluster.Update) error { n++; return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != sc.Size() {
+			b.Fatalf("merged %d points, want %d", n, sc.Size())
+		}
+		points += n
+	}
+	b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+}

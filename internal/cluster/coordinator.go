@@ -1,0 +1,554 @@
+// Coordinator side of distributed sweeps: expand the scenario once, split
+// the point index space into shards, route each shard to a worker by
+// memo-key affinity (hash of the shard's leading workload/device axes, so
+// repeated sweeps keep each worker's pipeline memo and stream caches hot),
+// stream the shard results back over SSE, and merge them into exact
+// scenario.Expand order. Failed or timed-out shards are reassigned to the
+// next peer with jittered exponential backoff and a bounded attempt
+// budget; the per-shard resume offset advances past results already
+// merged, so retries never recompute or duplicate points.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"delta/internal/durable"
+	"delta/internal/obs"
+	"delta/internal/pipeline"
+	"delta/internal/scenario"
+)
+
+// Metrics is the fleet's instrumentation; register with NewMetrics and
+// share one instance across sweeps. A nil *Metrics disables recording.
+type Metrics struct {
+	Shards   *obs.CounterVec // delta_cluster_shards_total{peer,status}
+	Retries  *obs.Counter    // delta_cluster_shard_retries_total
+	InFlight *obs.Gauge      // delta_cluster_shards_in_flight
+	Merged   *obs.Counter    // delta_cluster_points_merged_total
+	MergeLag *obs.Gauge      // delta_cluster_merge_lag
+	PeerUp   *obs.GaugeVec   // delta_cluster_peer_up{peer}
+}
+
+// NewMetrics registers the fleet series on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Shards:   r.CounterVec("delta_cluster_shards_total", "Finished shard attempts by peer and outcome.", "peer", "status"),
+		Retries:  r.Counter("delta_cluster_shard_retries_total", "Shard attempts retried on another peer after a failure."),
+		InFlight: r.Gauge("delta_cluster_shards_in_flight", "Shard attempts currently streaming from peers."),
+		Merged:   r.Counter("delta_cluster_points_merged_total", "Scenario points merged into coordinator results."),
+		MergeLag: r.Gauge("delta_cluster_merge_lag", "Points received out of order, buffered awaiting the in-order merge."),
+		PeerUp:   r.GaugeVec("delta_cluster_peer_up", "Last observed peer reachability (1 ready, 0 unreachable or degraded).", "peer"),
+	}
+}
+
+// Recorder persists shard lifecycle transitions (the durable store's
+// RecordShard). Recording failures are logged, never fatal to the sweep.
+type Recorder interface {
+	RecordShard(job string, shard, offset, count int, peer string, attempt int, status string) error
+}
+
+// Config wires a Coordinator; Peers is required, everything else defaults.
+type Config struct {
+	// Peers are the workers' base URLs (e.g. http://host:8080).
+	Peers []string
+
+	// ShardsPerPeer scales the shard count: the sweep splits into
+	// len(Peers)*ShardsPerPeer shards (capped at the point count), small
+	// enough for memo affinity to matter, large enough that losing a
+	// worker reassigns fractions of the sweep, not halves. Default 4.
+	ShardsPerPeer int
+
+	// MaxAttempts bounds dispatch attempts per shard; default
+	// max(3, len(Peers)+1) so a single dead peer can never exhaust a
+	// shard's budget before every other peer has had a turn.
+	MaxAttempts int
+
+	// ShardTimeout bounds one shard attempt end to end (default 10m).
+	ShardTimeout time.Duration
+
+	// RetryBackoff is the initial reassignment delay (default 250ms),
+	// doubled per attempt up to MaxBackoff (default 5s), jittered ±50%.
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+
+	// HealthTimeout bounds one peer /healthz probe (default 2s).
+	HealthTimeout time.Duration
+
+	// Token authenticates against the workers' bearer-auth middleware.
+	Token string
+
+	// HTTP issues shard and health requests; nil means a default client
+	// (no client-level timeout — shard streams are long-lived).
+	HTTP *http.Client
+
+	// Client tunes the per-attempt SSE reconnect policy; zero values take
+	// the Client defaults.
+	ClientRetries int
+	ClientBackoff time.Duration
+
+	Metrics  *Metrics
+	Recorder Recorder
+	Log      *log.Logger
+}
+
+// Coordinator fans a scenario sweep out across a worker fleet.
+type Coordinator struct {
+	cfg Config
+}
+
+// New validates the config and applies defaults.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: no peers")
+	}
+	peers := make([]string, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer %d", i)
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		peers[i] = p
+	}
+	cfg.Peers = peers
+	if cfg.ShardsPerPeer <= 0 {
+		cfg.ShardsPerPeer = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = len(peers) + 1
+		if cfg.MaxAttempts < 3 {
+			cfg.MaxAttempts = 3
+		}
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 10 * time.Minute
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = 2 * time.Second
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
+	return &Coordinator{cfg: cfg}, nil
+}
+
+// Peers returns the normalized peer URLs.
+func (c *Coordinator) Peers() []string { return append([]string(nil), c.cfg.Peers...) }
+
+// Update is one merged per-point result, delivered in expansion order.
+type Update struct {
+	// Index is the point's position in expansion order (dense from the
+	// sweep's offset).
+	Index int
+
+	// Err is the point's evaluation error ("" on success).
+	Err string
+
+	// Payload is the worker-rendered result, byte-identical to what the
+	// same point renders single-node.
+	Payload json.RawMessage
+}
+
+// Sweep describes one distributed run.
+type Sweep struct {
+	// JobID labels durable shard records (empty skips recording).
+	JobID string
+
+	// Doc is the scenario document forwarded verbatim to workers.
+	Doc json.RawMessage
+
+	// Scenario is the same document resolved locally — the coordinator
+	// expands it once for totals and affinity routing, and trusts workers
+	// to expand identically (scenario.Expand is deterministic).
+	Scenario scenario.Scenario
+
+	// Offset resumes a sweep: points before it are already merged
+	// (len of the durable results), so only [Offset, Size()) is dispatched.
+	Offset int
+
+	// Policy is applied to the merged in-order stream: FailFast stops
+	// emitting at the first erroring point exactly like a single-node
+	// fail-fast sweep; CollectPartial delivers every point.
+	Policy pipeline.ErrorPolicy
+}
+
+// Sentinel cancellation causes for the run context.
+var (
+	errSweepDone    = errors.New("cluster: sweep complete")
+	errSweepStopped = errors.New("cluster: sweep stopped at failing point")
+)
+
+// shardTask is one shard's mutable dispatch state. It is owned by exactly
+// one runner goroutine at a time (handed off through channels), so no lock.
+type shardTask struct {
+	idx      int
+	rng      scenario.Range
+	got      int // points already merged from this shard (monotone)
+	attempts int // finished attempts
+}
+
+// Run executes the sweep, delivering merged updates in expansion order via
+// emit (called serially). It returns nil when the sweep completes or stops
+// at a failing point under FailFast — point errors ride in the updates —
+// and an error only for coordination failures: context cancellation, an
+// emit error, or a shard exhausting its attempt budget.
+func (c *Coordinator) Run(ctx context.Context, sw Sweep, emit func(Update) error) error {
+	points, err := sw.Scenario.Expand()
+	if err != nil {
+		return err
+	}
+	size := len(points)
+	offset := sw.Offset
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= size {
+		return nil
+	}
+	peers := c.cfg.Peers
+	ranges := scenario.SplitSpan(offset, size-offset, len(peers)*c.cfg.ShardsPerPeer)
+	tasks := make([]*shardTask, len(ranges))
+	for i, r := range ranges {
+		tasks[i] = &shardTask{idx: i, rng: r}
+	}
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	m := &merger{
+		next: offset, total: size, buf: make(map[int]Update),
+		emit: emit, failFast: sw.Policy == pipeline.FailFast,
+		stop: func() { cancel(errSweepStopped) }, metrics: c.cfg.Metrics,
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(len(tasks)))
+
+	// Per-peer queues sized so every possible enqueue (each shard at most
+	// MaxAttempts times) fits without blocking: reassignment never
+	// deadlocks against a stuck runner.
+	queues := make([]chan *shardTask, len(peers))
+	for i := range queues {
+		queues[i] = make(chan *shardTask, len(tasks)*c.cfg.MaxAttempts)
+	}
+	for _, t := range tasks {
+		queues[c.affinity(points[t.rng.Offset])] <- t
+	}
+
+	var wg sync.WaitGroup
+	for i := range peers {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case t := <-queues[peer]:
+					c.runShard(runCtx, cancel, sw, peer, t, m, &remaining, queues, &wg)
+				}
+			}
+		}(i)
+	}
+	<-runCtx.Done()
+	wg.Wait()
+
+	cause := context.Cause(runCtx)
+	switch {
+	case errors.Is(cause, errSweepDone), errors.Is(cause, errSweepStopped):
+		return nil
+	case ctx.Err() != nil:
+		return ctx.Err()
+	default:
+		return cause
+	}
+}
+
+// runShard runs one dispatch attempt and handles its outcome: completion,
+// reassignment with backoff, or sweep failure when the budget is spent.
+func (c *Coordinator) runShard(runCtx context.Context, cancel context.CancelCauseFunc, sw Sweep, peer int, t *shardTask, m *merger, remaining *atomic.Int64, queues []chan *shardTask, wg *sync.WaitGroup) {
+	peerURL := c.cfg.Peers[peer]
+	attempt := t.attempts + 1
+	c.record(sw.JobID, t, peerURL, attempt, durable.ShardDispatched)
+	if mt := c.cfg.Metrics; mt != nil {
+		mt.InFlight.Inc()
+	}
+	err := c.streamShard(runCtx, sw, peerURL, t, m)
+	if mt := c.cfg.Metrics; mt != nil {
+		mt.InFlight.Dec()
+	}
+	if runCtx.Err() != nil {
+		// The sweep ended (done, stopped, cancelled, or failed elsewhere)
+		// while this attempt was in flight; its outcome no longer matters.
+		return
+	}
+	if err == nil {
+		c.record(sw.JobID, t, peerURL, attempt, durable.ShardDone)
+		if mt := c.cfg.Metrics; mt != nil {
+			mt.Shards.With(peerLabel(peerURL), durable.ShardDone).Inc()
+			mt.PeerUp.With(peerLabel(peerURL)).Set(1)
+		}
+		if remaining.Add(-1) == 0 {
+			cancel(errSweepDone)
+		}
+		return
+	}
+
+	t.attempts = attempt
+	c.record(sw.JobID, t, peerURL, attempt, durable.ShardFailed)
+	if mt := c.cfg.Metrics; mt != nil {
+		mt.Shards.With(peerLabel(peerURL), durable.ShardFailed).Inc()
+		mt.PeerUp.With(peerLabel(peerURL)).Set(0)
+	}
+	var ee errEmit
+	if errors.As(err, &ee) {
+		cancel(fmt.Errorf("cluster: merging shard %d: %w", t.idx, ee.err))
+		return
+	}
+	if attempt >= c.cfg.MaxAttempts {
+		cancel(fmt.Errorf("cluster: shard %d [%d,+%d) failed after %d attempt(s), last on %s: %w",
+			t.idx, t.rng.Offset, t.rng.Count, attempt, peerURL, err))
+		return
+	}
+	if mt := c.cfg.Metrics; mt != nil {
+		mt.Retries.Inc()
+	}
+	c.cfg.Log.Printf("cluster: shard %d attempt %d on %s failed (%v); reassigning", t.idx, attempt, peerURL, err)
+	next := (peer + 1) % len(queues)
+	d := c.cfg.RetryBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-time.After(d):
+			queues[next] <- t // buffered for the worst case; never blocks
+		case <-runCtx.Done():
+		}
+	}()
+}
+
+// streamShard runs one SSE attempt against a peer, advancing the shard's
+// resume offset as in-order results arrive.
+func (c *Coordinator) streamShard(runCtx context.Context, sw Sweep, peerURL string, t *shardTask, m *merger) error {
+	body, err := json.Marshal(struct {
+		Scenario json.RawMessage `json:"scenario"`
+		Offset   int             `json:"offset"`
+		Limit    int             `json:"limit"`
+	}{sw.Doc, t.rng.Offset + t.got, t.rng.Count - t.got})
+	if err != nil {
+		return errEmit{err} // malformed sweep doc: retrying cannot help
+	}
+	actx, acancel := context.WithTimeout(runCtx, c.cfg.ShardTimeout)
+	defer acancel()
+	cli := &Client{
+		HTTP: c.cfg.HTTP, Token: c.cfg.Token,
+		Retries: c.cfg.ClientRetries, Backoff: c.cfg.ClientBackoff,
+	}
+	expected := t.rng.Offset + t.got
+	var doneCount int
+	err = cli.Stream(actx, peerURL+"/v2/shards", body, func(ev Event) error {
+		switch ev.Type {
+		case "result":
+			var res wireResult
+			if uerr := json.Unmarshal(ev.Data, &res); uerr != nil {
+				return fmt.Errorf("cluster: bad result frame: %w", uerr)
+			}
+			if res.Index != expected {
+				return fmt.Errorf("cluster: shard %d: point %d out of order (want %d)", t.idx, res.Index, expected)
+			}
+			if merr := m.deliver(Update{Index: res.Index, Err: res.Error, Payload: res.Payload}); merr != nil {
+				return merr
+			}
+			t.got++
+			expected++
+		case "done":
+			var d wireDone
+			if uerr := json.Unmarshal(ev.Data, &d); uerr != nil {
+				return fmt.Errorf("cluster: bad done frame: %w", uerr)
+			}
+			if d.Error != "" {
+				return fmt.Errorf("cluster: worker failed shard: %s", d.Error)
+			}
+			doneCount = d.Count
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if t.got != t.rng.Count || doneCount != t.rng.Count {
+		return fmt.Errorf("cluster: shard %d short: got %d of %d point(s) (done frame said %d)",
+			t.idx, t.got, t.rng.Count, doneCount)
+	}
+	return nil
+}
+
+// record persists one shard transition, logging (not failing) on error.
+func (c *Coordinator) record(job string, t *shardTask, peerURL string, attempt int, status string) {
+	if c.cfg.Recorder == nil || job == "" {
+		return
+	}
+	if err := c.cfg.Recorder.RecordShard(job, t.idx, t.rng.Offset, t.rng.Count, peerLabel(peerURL), attempt, status); err != nil {
+		c.cfg.Log.Printf("cluster: recording shard %d %s: %v", t.idx, status, err)
+	}
+}
+
+// affinity routes a shard (by its leading point) to a peer: a stable hash
+// of the workload/device axes, so re-runs and related sweeps land the same
+// axis combinations on the same workers and their pipeline memo,
+// StreamCache, and shared-stream tiers stay hot.
+func (c *Coordinator) affinity(p scenario.Point) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(p.Workload))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(p.Device.Name))
+	return int(h.Sum32() % uint32(len(c.cfg.Peers)))
+}
+
+// peerLabel is the metric/WAL label for a peer URL (scheme stripped to
+// bound label churn across config styles).
+func peerLabel(u string) string {
+	if _, rest, ok := strings.Cut(u, "://"); ok {
+		return rest
+	}
+	return u
+}
+
+// merger folds concurrent shard results back into expansion order: updates
+// buffer until their index is next, then emit in order. Stale duplicates
+// (reconnect replays racing an advanced resume offset) are dropped; under
+// FailFast the first erroring in-order point stops the sweep exactly where
+// a single-node fail-fast stream would.
+type merger struct {
+	mu       sync.Mutex
+	next     int
+	total    int
+	buf      map[int]Update
+	emit     func(Update) error
+	failFast bool
+	stopped  bool
+	stop     func()
+	metrics  *Metrics
+}
+
+func (m *merger) deliver(u Update) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped || u.Index < m.next {
+		return nil
+	}
+	if _, dup := m.buf[u.Index]; dup {
+		return nil
+	}
+	m.buf[u.Index] = u
+	for {
+		nu, ok := m.buf[m.next]
+		if !ok {
+			break
+		}
+		delete(m.buf, m.next)
+		if err := m.emit(nu); err != nil {
+			m.stopped = true
+			return errEmit{err}
+		}
+		m.next++
+		if m.metrics != nil {
+			m.metrics.Merged.Inc()
+		}
+		if nu.Err != "" && m.failFast {
+			m.stopped = true
+			m.stop()
+			break
+		}
+	}
+	if m.metrics != nil {
+		m.metrics.MergeLag.Set(int64(len(m.buf)))
+	}
+	return nil
+}
+
+// PeerStatus is one peer's probed health.
+type PeerStatus struct {
+	Peer string `json:"peer"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"error,omitempty"`
+}
+
+// PeerHealth probes every peer's /healthz concurrently (bounded by
+// HealthTimeout) and updates the per-peer reachability gauge. A peer is OK
+// only on HTTP 200 — reachable-but-degraded workers count against quorum.
+func (c *Coordinator) PeerHealth(ctx context.Context) []PeerStatus {
+	out := make([]PeerStatus, len(c.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, p := range c.cfg.Peers {
+		wg.Add(1)
+		go func(i int, peerURL string) {
+			defer wg.Done()
+			st := PeerStatus{Peer: peerLabel(peerURL)}
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, peerURL+"/healthz", nil)
+			if err == nil {
+				var resp *http.Response
+				resp, err = c.cfg.HTTP.Do(req)
+				if err == nil {
+					if resp.StatusCode == http.StatusOK {
+						st.OK = true
+					} else {
+						st.Err = fmt.Sprintf("status %d", resp.StatusCode)
+					}
+					resp.Body.Close()
+				}
+			}
+			if err != nil {
+				st.Err = err.Error()
+			}
+			if mt := c.cfg.Metrics; mt != nil {
+				up := int64(0)
+				if st.OK {
+					up = 1
+				}
+				mt.PeerUp.With(st.Peer).Set(up)
+			}
+			out[i] = st
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+// Quorum reports whether a majority (n/2+1) of probed peers are OK.
+func Quorum(sts []PeerStatus) bool {
+	up := 0
+	for _, st := range sts {
+		if st.OK {
+			up++
+		}
+	}
+	return up >= len(sts)/2+1
+}

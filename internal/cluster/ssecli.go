@@ -1,0 +1,246 @@
+// SSE client: the coordinator's half of the shard stream protocol. One
+// Stream call POSTs a shard request and delivers parsed Server-Sent-Events
+// frames in order, transparently reconnecting dropped connections with the
+// standard Last-Event-ID header (the worker skips the results already
+// delivered, so the caller sees every frame exactly once). Reconnects use
+// jittered exponential backoff and give up after a bounded number of
+// consecutive failures without progress.
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Event is one parsed SSE frame.
+type Event struct {
+	// ID is the frame's `id:` value (0 when the frame carried none); the
+	// client replays the last non-zero ID as Last-Event-ID on reconnect.
+	ID int
+
+	// Type is the frame's `event:` value ("message" when absent).
+	Type string
+
+	// Data is the frame's payload (multiple `data:` lines joined by \n).
+	Data []byte
+}
+
+// Client streams SSE responses with automatic resume. The zero value is
+// usable; fields tune the reconnect policy.
+type Client struct {
+	// HTTP issues the requests; nil means a default client. Do not set a
+	// client-level timeout — streams are long-lived; bound attempts with
+	// the Stream context instead.
+	HTTP *http.Client
+
+	// Token, when set, is sent as a bearer Authorization header.
+	Token string
+
+	// Retries caps consecutive failed attempts without progress (an
+	// attempt that delivers at least one frame resets the count).
+	// Default 4.
+	Retries int
+
+	// Backoff is the initial reconnect delay (default 100ms), doubled per
+	// consecutive failure up to MaxBackoff (default 2s), with ±50% jitter.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// errEmit marks an abort requested by the caller's emit function: terminal,
+// never retried, unwrapped before returning.
+type errEmit struct{ err error }
+
+func (e errEmit) Error() string { return e.err.Error() }
+
+// Stream POSTs body (application/json) to url and delivers each SSE frame
+// to emit, in order, each exactly once across reconnects. It returns nil
+// after emitting a frame whose Type is "done" (the protocol's terminal
+// frame), and an error when the context ends, emit fails, the server
+// answers a non-retryable status, or reconnect attempts are exhausted.
+func (c *Client) Stream(ctx context.Context, url string, body []byte, emit func(Event) error) error {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 4
+	}
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+
+	lastID, fails := 0, 0
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		progressed, done, err := c.attempt(ctx, httpc, url, body, lastID, &lastID, emit)
+		if done {
+			return nil
+		}
+		var ee errEmit
+		if errors.As(err, &ee) {
+			return ee.err
+		}
+		if progressed {
+			fails = 0
+		}
+		fails++
+		lastErr = err
+		var te terminalErr
+		if errors.As(err, &te) {
+			return fmt.Errorf("cluster: sse: %s: %w", url, err)
+		}
+		if fails > retries {
+			return fmt.Errorf("cluster: sse: %s: giving up after %d attempt(s): %w", url, fails, lastErr)
+		}
+		d := base << (fails - 1)
+		if d > maxB {
+			d = maxB
+		}
+		// ±50% jitter keeps a fleet of coordinators from thundering back
+		// in lockstep after a shared outage.
+		d = d/2 + time.Duration(rand.Int63n(int64(d)))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// terminalErr marks a server answer that retrying cannot improve (4xx
+// other than timeout/too-many-requests).
+type terminalErr struct{ msg string }
+
+func (e terminalErr) Error() string { return e.msg }
+
+// attempt runs one connection: POST, parse frames, track the resume id.
+func (c *Client) attempt(ctx context.Context, httpc *http.Client, url string, body []byte, resumeID int, lastID *int, emit func(Event) error) (progressed, done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if resumeID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(resumeID))
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 &&
+			resp.StatusCode != http.StatusRequestTimeout && resp.StatusCode != http.StatusTooManyRequests {
+			return false, false, terminalErr{err.Error()}
+		}
+		return false, false, err
+	}
+	perr := parseSSE(resp.Body, func(ev Event) error {
+		if ev.ID > 0 {
+			*lastID = ev.ID
+		}
+		progressed = true
+		if err := emit(ev); err != nil {
+			return errEmit{err}
+		}
+		if ev.Type == "done" {
+			done = true
+			return errStreamEnd
+		}
+		return nil
+	})
+	if done {
+		return progressed, true, nil
+	}
+	if perr == nil {
+		// Clean EOF without a done frame: the server (or a proxy) closed
+		// the stream mid-shard; reconnect and resume.
+		perr = errors.New("stream ended before done frame")
+	}
+	return progressed, false, perr
+}
+
+// errStreamEnd stops parseSSE after the terminal frame without reading to
+// connection close.
+var errStreamEnd = errors.New("stream end")
+
+// parseSSE reads Server-Sent-Events frames from r and hands each complete
+// frame to emit. Comment lines (leading ':') are skipped; a blank line
+// dispatches the accumulated frame. Returns nil on EOF, emit's error when
+// it aborts (errStreamEnd is swallowed), or the read error otherwise.
+func parseSSE(r io.Reader, emit func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var (
+		ev      Event
+		data    []string
+		hasData bool
+	)
+	flush := func() error {
+		if !hasData {
+			ev = Event{}
+			return nil
+		}
+		if ev.Type == "" {
+			ev.Type = "message"
+		}
+		ev.Data = []byte(strings.Join(data, "\n"))
+		err := emit(ev)
+		ev, data, hasData = Event{}, nil, false
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				if errors.Is(err, errStreamEnd) {
+					return nil
+				}
+				return err
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		default:
+			field, value, _ := strings.Cut(line, ":")
+			value = strings.TrimPrefix(value, " ")
+			switch field {
+			case "id":
+				if n, err := strconv.Atoi(value); err == nil && n > 0 {
+					ev.ID = n
+				}
+			case "event":
+				ev.Type = value
+			case "data":
+				data = append(data, value)
+				hasData = true
+			}
+		}
+	}
+	return sc.Err()
+}

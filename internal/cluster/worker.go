@@ -1,0 +1,193 @@
+// Worker side of the shard protocol: an http.Handler for POST /v2/shards.
+// The request body is a spec shard document ({scenario, offset, limit});
+// the response is an SSE stream of `event: result` frames — one per point
+// of the window, in expansion order, each carrying an `id:` line counting
+// results delivered within the shard — closed by a terminal `event: done`
+// frame. A reconnecting coordinator sends Last-Event-ID to skip the
+// results it already holds; because the evaluator's offset+limit window is
+// bit-identical to the same slice of a full run, resumed shards never
+// recompute or diverge.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"delta/internal/pipeline"
+	"delta/internal/spec"
+)
+
+// wireResult is the data payload of one `event: result` frame.
+type wireResult struct {
+	// Index is the point's global position in expansion order.
+	Index int `json:"index"`
+
+	// Error is the point's evaluation error ("" on success). Workers
+	// always sweep collect-partial; the coordinator applies the job's
+	// error policy at merge time so the merged stream matches a
+	// single-node run of either policy.
+	Error string `json:"error,omitempty"`
+
+	// Payload is the rendered point result (the handler's Render output),
+	// opaque to the protocol.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// wireDone is the data payload of the terminal `event: done` frame.
+type wireDone struct {
+	// Count is the number of results delivered for the shard window,
+	// Last-Event-ID skips included.
+	Count int `json:"count"`
+
+	// Error reports a worker-side infrastructure failure (not a point
+	// evaluation error); the coordinator fails the attempt and retries.
+	Error string `json:"error,omitempty"`
+}
+
+// ShardHandler serves the worker half of distributed sweeps. Wire it at
+// POST /v2/shards behind the server's usual auth/rate-limit middleware.
+type ShardHandler struct {
+	// Eval runs the shard's points; required.
+	Eval *pipeline.Evaluator
+
+	// Render turns one stream update into the result frame's payload.
+	// delta-server passes its job-result renderer so distributed job
+	// results are byte-identical to single-node ones; nil omits payloads
+	// (index/error only — enough for throughput benchmarks).
+	Render func(pipeline.StreamUpdate) (json.RawMessage, error)
+
+	// KeepAlive is the idle comment-frame interval (default 15s).
+	KeepAlive time.Duration
+
+	// MaxBody bounds the request body (default 1 MiB).
+	MaxBody int64
+}
+
+func (h *ShardHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		shardError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	maxBody := h.MaxBody
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	sh, err := spec.ReadShard(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		shardError(w, http.StatusBadRequest, err)
+		return
+	}
+	skip := 0
+	if lei := strings.TrimSpace(r.Header.Get("Last-Event-ID")); lei != "" {
+		// Ignore ids we did not mint; a full replay is always safe.
+		if n, aerr := strconv.Atoi(lei); aerr == nil && n > 0 {
+			skip = n
+			if skip > sh.Limit {
+				skip = sh.Limit
+			}
+		}
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		shardError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	// Always collect-partial: the coordinator owns the error policy and
+	// applies it to the merged in-order stream, so a fail-fast sweep still
+	// matches single-node output even when the failing point's shard runs
+	// on a different worker than later points.
+	ch, err := h.Eval.Stream(r.Context(), sh.Scenario,
+		pipeline.WithOffset(sh.Offset+skip),
+		pipeline.WithLimit(sh.Limit-skip),
+		pipeline.WithErrorPolicy(pipeline.CollectPartial))
+	if err != nil {
+		shardError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	hd := w.Header()
+	hd.Set("Content-Type", "text/event-stream")
+	hd.Set("Cache-Control", "no-cache")
+	hd.Set("Connection", "keep-alive")
+	hd.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	keepAlive := h.KeepAlive
+	if keepAlive <= 0 {
+		keepAlive = 15 * time.Second
+	}
+	ticker := time.NewTicker(keepAlive)
+	defer ticker.Stop()
+
+	count := skip
+	for {
+		select {
+		case upd, open := <-ch:
+			if !open {
+				if r.Context().Err() != nil {
+					return // client gone; no terminal frame
+				}
+				_ = writeFrame(w, 0, "done", wireDone{Count: count})
+				flusher.Flush()
+				return
+			}
+			res := wireResult{Index: upd.Point.Index}
+			if upd.Err != nil {
+				res.Error = upd.Err.Error()
+			}
+			if h.Render != nil {
+				payload, rerr := h.Render(upd)
+				if rerr != nil {
+					// Rendering is infrastructure, not evaluation: report
+					// through the done frame so the coordinator retries
+					// the attempt instead of recording a bogus point.
+					_ = writeFrame(w, 0, "done", wireDone{Count: count, Error: rerr.Error()})
+					flusher.Flush()
+					return
+				}
+				res.Payload = payload
+			}
+			count++
+			if err := writeFrame(w, count, "result", res); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-ticker.C:
+			if _, err := io.WriteString(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeFrame emits one SSE frame with a JSON payload; id > 0 adds an `id:`
+// line for Last-Event-ID resume.
+func writeFrame(w io.Writer, id int, event string, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if id > 0 {
+		_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, buf)
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, buf)
+	return err
+}
+
+// shardError answers a pre-stream failure in the server's JSON error shape.
+func shardError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

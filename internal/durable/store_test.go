@@ -257,3 +257,66 @@ func TestParseFsyncMode(t *testing.T) {
 		t.Error("bad mode accepted")
 	}
 }
+
+// TestStoreShardLifecycle: shard dispatch/retry/done records survive both
+// WAL replay and snapshot round-trips, latest record per shard index wins,
+// and shard records for unknown jobs are ignored.
+func TestStoreShardLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir, StoreOptions{})
+	writeJob(t, s, "fleet", 8, 0)
+	if err := s.RecordShard("fleet", 0, 0, 4, "w1:8080", 1, ShardDispatched); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordShard("fleet", 1, 4, 4, "w2:8080", 1, ShardDispatched); err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1 fails on w2 and is re-dispatched to w1; the latest record
+	// per index wins.
+	if err := s.RecordShard("fleet", 1, 4, 4, "w2:8080", 1, ShardFailed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordShard("fleet", 1, 4, 4, "w1:8080", 2, ShardDispatched); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordShard("fleet", 0, 0, 4, "w1:8080", 1, ShardDone); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown job: accepted and ignored, like the other record types.
+	if err := s.RecordShard("ghost", 0, 0, 1, "w1:8080", 1, ShardDispatched); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(s *Store, phase string) {
+		t.Helper()
+		jobs := s.Jobs()
+		if len(jobs) != 1 {
+			t.Fatalf("%s: %d jobs, want 1", phase, len(jobs))
+		}
+		js := jobs[0]
+		if len(js.Shards) != 2 {
+			t.Fatalf("%s: shards = %+v", phase, js.Shards)
+		}
+		s0, s1 := js.Shards[0], js.Shards[1]
+		if s0 == nil || s0.Status != ShardDone || s0.Peer != "w1:8080" || s0.Offset != 0 || s0.Count != 4 {
+			t.Errorf("%s: shard 0 = %+v", phase, s0)
+		}
+		if s1 == nil || s1.Status != ShardDispatched || s1.Peer != "w1:8080" || s1.Attempts != 2 ||
+			s1.Offset != 4 || s1.Count != 4 {
+			t.Errorf("%s: shard 1 = %+v", phase, s1)
+		}
+	}
+	check(s, "live")
+
+	// Crash-style reopen: pure WAL replay.
+	s.mu.Lock()
+	s.wal.Sync()
+	s.mu.Unlock()
+	check(testStore(t, copyDir(t, dir), StoreOptions{}), "wal-replay")
+
+	// Clean close writes a snapshot; reopen replays from it.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check(testStore(t, dir, StoreOptions{}), "snapshot")
+}

@@ -203,6 +203,19 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.with(nil, func() metric { return new(Gauge) }).(*Gauge)
 }
 
+// GaugeVec is a gauge family with label names.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, "gauge", labels, nil, nil)}
+}
+
+// With returns the gauge for one label-value combination.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.with(values, func() metric { return new(Gauge) }).(*Gauge)
+}
+
 // CounterFunc registers a counter whose value is read from fn at scrape
 // time — for monotone counters owned elsewhere (e.g. pipeline cache hits).
 func (r *Registry) CounterFunc(name, help string, fn func() float64) {

@@ -79,6 +79,36 @@ func TestHistogramVec(t *testing.T) {
 	}
 }
 
+// TestGaugeVec covers labeled gauges: per-label series, With caching, and
+// render format.
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("test_peer_up", "Peer reachability.", "peer")
+	gv.With("w1:8080").Set(1)
+	gv.With("w2:8080").Set(0)
+	gv.With("w1:8080").Add(1)
+	if gv.With("w1:8080").Value() != 2 {
+		t.Errorf("gauge = %d, want 2", gv.With("w1:8080").Value())
+	}
+	if gv.With("w1:8080") != gv.With("w1:8080") {
+		t.Error("With not cached per label set")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_peer_up gauge\n",
+		`test_peer_up{peer="w1:8080"} 2`,
+		`test_peer_up{peer="w2:8080"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestLabelEscaping: quotes, backslashes, and newlines in label values
 // must not corrupt the exposition stream.
 func TestLabelEscaping(t *testing.T) {

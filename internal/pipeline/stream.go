@@ -58,6 +58,7 @@ type StreamOption func(*streamConfig)
 type streamConfig struct {
 	policy ErrorPolicy
 	offset int
+	limit  int // < 0 = unlimited
 }
 
 // WithErrorPolicy selects the stream's error policy (default FailFast).
@@ -78,10 +79,23 @@ func WithOffset(n int) StreamOption {
 	return func(c *streamConfig) { c.offset = n }
 }
 
+// WithLimit bounds how many points a stream emits after the offset: the
+// sweep stops (and the channel closes) once n updates have been sent, as
+// if the expansion ended there. Done/Total and point indices are still
+// global, so an offset+limit window's updates are bit-identical to the
+// same slice of an unbounded run — the contract the cluster shard
+// protocol relies on to evaluate disjoint ranges on different workers
+// and merge them back into a single-node-identical result. A negative
+// limit means unlimited (the default); zero yields an immediately
+// closed stream.
+func WithLimit(n int) StreamOption {
+	return func(c *streamConfig) { c.limit = n }
+}
+
 // newStreamConfig applies the options over the defaults; Stream and
 // RunScenario share it so the default policy cannot diverge.
 func newStreamConfig(opts []StreamOption) streamConfig {
-	cfg := streamConfig{policy: FailFast}
+	cfg := streamConfig{policy: FailFast, limit: -1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -116,7 +130,11 @@ func (e *Evaluator) stream(ctx context.Context, points []scenario.Point, cfg str
 	if start < 0 {
 		start = 0
 	}
-	for i := start; i < n; i++ {
+	end := n
+	if cfg.limit >= 0 && start+cfg.limit < end {
+		end = start + cfg.limit
+	}
+	for i := start; i < end; i++ {
 		p := points[i]
 		if ctx.Err() != nil {
 			return

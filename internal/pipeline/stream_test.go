@@ -213,6 +213,66 @@ func TestStreamOffsetResumesTail(t *testing.T) {
 	}
 }
 
+// TestStreamLimitWindow: WithOffset(k) + WithLimit(n) emits exactly the
+// [k, k+n) slice of the uninterrupted run — same point indices, same
+// global progress counts, bit-identical results. This is the contract
+// the cluster shard protocol relies on to evaluate disjoint windows on
+// different workers and merge them into a single-node-identical sweep.
+func TestStreamLimitWindow(t *testing.T) {
+	sc := multiAxis()
+	full, err := New().RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []struct{ off, lim int }{
+		{0, 8}, {0, 3}, {3, 2}, {5, 3}, {5, 100}, {8, 0}, {2, 0}, {0, -1}, {4, -1},
+	} {
+		win, err := New().RunScenario(context.Background(), sc,
+			WithOffset(w.off), WithLimit(w.lim))
+		if err != nil {
+			t.Fatalf("window [%d,+%d): %v", w.off, w.lim, err)
+		}
+		end := len(full)
+		if w.lim >= 0 && w.off+w.lim < end {
+			end = w.off + w.lim
+		}
+		want := full[w.off:end]
+		if len(win) != len(want) {
+			t.Fatalf("window [%d,+%d): %d updates, want %d", w.off, w.lim, len(win), len(want))
+		}
+		for i, upd := range win {
+			ref := want[i]
+			if upd.Point.Index != ref.Point.Index || upd.Done != ref.Done || upd.Total != ref.Total {
+				t.Errorf("window [%d,+%d) update %d: point %d %d/%d, want point %d %d/%d",
+					w.off, w.lim, i, upd.Point.Index, upd.Done, upd.Total,
+					ref.Point.Index, ref.Done, ref.Total)
+			}
+			if upd.Network.Seconds != ref.Network.Seconds {
+				t.Errorf("window [%d,+%d) update %d: result diverged from full run", w.off, w.lim, i)
+			}
+		}
+	}
+	// Adjacent windows concatenate into the full run: the no-gap,
+	// no-overlap property the coordinator's merge depends on.
+	var merged []StreamUpdate
+	for _, r := range scenario.SplitSpan(0, len(full), 3) {
+		part, err := New().RunScenario(context.Background(), sc,
+			WithOffset(r.Offset), WithLimit(r.Count))
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, part...)
+	}
+	if len(merged) != len(full) {
+		t.Fatalf("merged %d updates, want %d", len(merged), len(full))
+	}
+	for i, upd := range merged {
+		if upd.Point.Index != full[i].Point.Index || upd.Network.Seconds != full[i].Network.Seconds {
+			t.Errorf("merged update %d diverged from full run", i)
+		}
+	}
+}
+
 // TestStreamCollectPartial keeps sweeping past failures.
 func TestStreamCollectPartial(t *testing.T) {
 	sc := scenario.Scenario{

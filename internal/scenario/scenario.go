@@ -15,6 +15,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"delta/internal/cnn"
 	"delta/internal/gpu"
@@ -261,8 +262,19 @@ func (s Scenario) countModelCombos() int {
 
 // Size returns the number of points the scenario expands to, without
 // resolving workloads. Streamed progress counts are reported against it.
+// A cross-product too large for int saturates at math.MaxInt (use
+// SizeChecked to detect that case — such a scenario cannot be expanded or
+// evaluated anyway, but splitting code must not see a wrapped-negative
+// total).
 func (s Scenario) Size() int {
-	perWDB := s.countModelCombos() + len(s.SimConfigs)
+	n, _ := s.SizeChecked()
+	return n
+}
+
+// SizeChecked is Size with overflow detection: it returns math.MaxInt and
+// a non-nil error when the axis cross-product does not fit in an int.
+func (s Scenario) SizeChecked() (int, error) {
+	perWDB := addCap(s.countModelCombos(), len(s.SimConfigs))
 	batches := len(orInts(s.Batches, 0))
 	explicit := 0
 	for _, w := range s.Workloads {
@@ -271,7 +283,86 @@ func (s Scenario) Size() int {
 		}
 	}
 	named := len(s.Workloads) - explicit
-	return (named*batches + explicit) * len(s.Devices) * perWDB
+	n := mulCap(mulCap(addCap(mulCap(named, batches), explicit), len(s.Devices)), perWDB)
+	if n == math.MaxInt {
+		return math.MaxInt, fmt.Errorf("scenario %q: point count overflows int", s.Name)
+	}
+	return n, nil
+}
+
+// mulCap multiplies two non-negative counts, saturating at math.MaxInt on
+// overflow (the sentinel SizeChecked reports as an error).
+func mulCap(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}
+
+// addCap adds two non-negative counts, saturating at math.MaxInt.
+func addCap(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
+}
+
+// Range is a contiguous half-open span [Offset, Offset+Count) of a
+// scenario's expansion-order point indices: the unit of work a distributed
+// sweep assigns to one worker (evaluate the scenario with a stream offset
+// of Range.Offset and a limit of Range.Count).
+type Range struct {
+	Offset int
+	Count  int
+}
+
+// End returns the exclusive upper bound of the range.
+func (r Range) End() int { return r.Offset + r.Count }
+
+// SplitRanges partitions the scenario's full index space [0, Size()) into
+// at most n contiguous ranges in expansion order — a disjoint exact cover,
+// so evaluating every range on any mix of workers and concatenating the
+// results in range order reproduces a single-node sweep exactly. It
+// returns an error when the point count overflows (splitting a saturated
+// size would silently drop points).
+func (s Scenario) SplitRanges(n int) ([]Range, error) {
+	size, err := s.SizeChecked()
+	if err != nil {
+		return nil, err
+	}
+	return SplitSpan(0, size, n), nil
+}
+
+// SplitSpan partitions the half-open index span [start, start+count) into
+// at most n contiguous, non-empty ranges of near-equal size (the first
+// count%n ranges are one point longer). Fewer than n points yield one
+// single-point range each — never an empty range. n < 1 is treated as 1;
+// an empty span yields no ranges.
+func SplitSpan(start, count, n int) []Range {
+	if count <= 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > count {
+		n = count
+	}
+	out := make([]Range, 0, n)
+	base, extra := count/n, count%n
+	off := start
+	for i := 0; i < n; i++ {
+		c := base
+		if i < extra {
+			c++
+		}
+		out = append(out, Range{Offset: off, Count: c})
+		off += c
+	}
+	return out
 }
 
 // Expand flattens the scenario into its ordered point list. The order is

@@ -1,0 +1,83 @@
+// Shard codec: the JSON shape of one distributed-sweep shard request —
+// a scenario plus an [offset, offset+limit) window into its expansion
+// order. The delta-server /v2/shards worker endpoint and the cluster
+// coordinator speak this document; the window bounds are validated
+// against the scenario's checked point count so a malformed shard fails
+// at decode time, not mid-stream.
+//
+// Format:
+//
+//	{
+//	  "scenario": { ... scenario document ... },
+//	  "offset": 12,
+//	  "limit": 6
+//	}
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"delta/internal/scenario"
+)
+
+// ShardSpec is the JSON shape of one shard request: a scenario document
+// and a point-index window in expansion order.
+type ShardSpec struct {
+	// Scenario is the embedded scenario document (the ScenarioSpec
+	// codec), kept raw so the coordinator can forward one serialized
+	// scenario to every worker without re-encoding.
+	Scenario json.RawMessage `json:"scenario"`
+
+	// Offset is the first point index of the window (0-based, in
+	// scenario.Expand order).
+	Offset int `json:"offset"`
+
+	// Limit is the number of points in the window.
+	Limit int `json:"limit"`
+}
+
+// Shard is a decoded, validated shard request: the resolved scenario
+// plus its window.
+type Shard struct {
+	Scenario scenario.Scenario
+	Offset   int
+	Limit    int
+}
+
+// ReadShard parses a shard JSON document, resolves the embedded
+// scenario, and validates the window against the scenario's checked
+// point count (rejecting negative bounds, windows past the end, and
+// scenarios whose cross-product overflows int).
+func ReadShard(r io.Reader) (Shard, error) {
+	var s ShardSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Shard{}, fmt.Errorf("spec: parsing shard: %w", err)
+	}
+	if len(s.Scenario) == 0 {
+		return Shard{}, fmt.Errorf("spec: shard: missing scenario")
+	}
+	sc, err := ReadScenario(bytes.NewReader(s.Scenario))
+	if err != nil {
+		return Shard{}, fmt.Errorf("spec: shard: %w", err)
+	}
+	size, err := sc.SizeChecked()
+	if err != nil {
+		return Shard{}, fmt.Errorf("spec: shard: %w", err)
+	}
+	if s.Offset < 0 {
+		return Shard{}, fmt.Errorf("spec: shard: negative offset %d", s.Offset)
+	}
+	if s.Limit < 0 {
+		return Shard{}, fmt.Errorf("spec: shard: negative limit %d", s.Limit)
+	}
+	if s.Offset > size || s.Limit > size-s.Offset {
+		return Shard{}, fmt.Errorf("spec: shard: window [%d, %d) exceeds scenario point count %d",
+			s.Offset, s.Offset+s.Limit, size)
+	}
+	return Shard{Scenario: sc, Offset: s.Offset, Limit: s.Limit}, nil
+}

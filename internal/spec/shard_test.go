@@ -1,0 +1,62 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+const shardScenarioDoc = `{
+  "workloads": [{"network": "alexnet"}, {"network": "googlenet"}],
+  "devices": [{"name": "TITAN Xp"}, {"name": "V100"}],
+  "batches": [16],
+  "models": ["delta", "prior"]
+}`
+
+func TestReadShard(t *testing.T) {
+	doc := `{"scenario": ` + shardScenarioDoc + `, "offset": 3, "limit": 4}`
+	sh, err := ReadShard(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Offset != 3 || sh.Limit != 4 {
+		t.Errorf("window = [%d,+%d), want [3,+4)", sh.Offset, sh.Limit)
+	}
+	if got := sh.Scenario.Size(); got != 8 {
+		t.Errorf("resolved scenario size = %d, want 8", got)
+	}
+}
+
+func TestReadShardRejects(t *testing.T) {
+	for _, tc := range []struct{ name, doc, want string }{
+		{"missing scenario", `{"offset": 0, "limit": 1}`, "missing scenario"},
+		{"negative offset", `{"scenario": ` + shardScenarioDoc + `, "offset": -1, "limit": 1}`, "negative offset"},
+		{"negative limit", `{"scenario": ` + shardScenarioDoc + `, "offset": 0, "limit": -1}`, "negative limit"},
+		{"window past end", `{"scenario": ` + shardScenarioDoc + `, "offset": 6, "limit": 3}`, "exceeds scenario point count"},
+		{"offset past end", `{"scenario": ` + shardScenarioDoc + `, "offset": 9, "limit": 0}`, "exceeds scenario point count"},
+		{"unknown field", `{"scenario": ` + shardScenarioDoc + `, "offset": 0, "limit": 1, "bogus": 1}`, "bogus"},
+		{"bad scenario", `{"scenario": {"workloads": []}, "offset": 0, "limit": 0}`, "workload"},
+	} {
+		_, err := ReadShard(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReadShardFullWindow: a window covering the whole scenario (and the
+// empty window at the very end) is valid — the degenerate shapes the
+// coordinator emits for tiny fleets.
+func TestReadShardFullWindow(t *testing.T) {
+	for _, doc := range []string{
+		`{"scenario": ` + shardScenarioDoc + `, "offset": 0, "limit": 8}`,
+		`{"scenario": ` + shardScenarioDoc + `, "offset": 8, "limit": 0}`,
+	} {
+		if _, err := ReadShard(strings.NewReader(doc)); err != nil {
+			t.Errorf("valid shard rejected: %v\n%s", err, doc)
+		}
+	}
+}

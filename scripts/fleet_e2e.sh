@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# End-to-end smoke of distributed sweeps: build delta-server, start two
+# workers plus a coordinator (-coordinator -peers=@file) and a single-node
+# reference server, run the same simulation sweep on both, kill -9 one
+# worker mid-sweep, and assert (1) the coordinator reassigns the dead
+# worker's shards and finishes with results identical point for point to
+# the single-node run — no duplicated or missing points — (2) the
+# delta_cluster_* fleet metrics moved (shard retries > 0), and (3) the
+# coordinator's /healthz degrades to 503 once the fleet loses quorum.
+# Run by the CI fleet-e2e job and usable locally: ./scripts/fleet_e2e.sh
+set -euo pipefail
+
+REF="${REF:-127.0.0.1:18090}"
+W1="${W1:-127.0.0.1:18091}"
+W2="${W2:-127.0.0.1:18092}"
+CO="${CO:-127.0.0.1:18093}"
+BIN="$(mktemp -d)/delta-server"
+
+go build -o "$BIN" ./cmd/delta-server
+
+wait_up() {
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  curl -fsS "http://$1/healthz" >/dev/null
+}
+
+"$BIN" -addr "$REF" &
+REF_PID=$!
+"$BIN" -addr "$W1" &
+W1_PID=$!
+"$BIN" -addr "$W2" &
+W2_PID=$!
+
+# The coordinator takes its fleet from a peers file (one worker per line,
+# comments allowed) — the @file spelling of -peers.
+PEERS_FILE=$(mktemp)
+cat > "$PEERS_FILE" <<EOF
+# fleet workers
+$W1
+$W2
+EOF
+"$BIN" -addr "$CO" -coordinator -peers "@$PEERS_FILE" &
+CO_PID=$!
+trap 'kill -9 "$REF_PID" "$W1_PID" "$W2_PID" "$CO_PID" 2>/dev/null || true' EXIT
+
+wait_up "$REF"; wait_up "$W1"; wait_up "$W2"; wait_up "$CO"
+
+# With both workers reachable the coordinator reports fleet quorum.
+curl -fsS "http://$CO/healthz" | python3 -c '
+import json, sys
+j = json.load(sys.stdin)
+assert j["fleet"]["quorum"] is True, j["fleet"]
+assert len(j["fleet"]["peers"]) == 2, j["fleet"]
+print("fleet-e2e: healthz quorum OK")
+'
+
+# A six-point simulation sweep, slow enough that a worker dies mid-stream:
+# several L2 configurations over a mid-size layer.
+SCENARIO='{"scenario": {
+  "name": "fleet-e2e",
+  "workloads": [{"name": "mid", "layers": [{"b": 8, "ci": 128, "hi": 56, "co": 128, "hf": 3, "pad": 1}]}],
+  "devices": [{"name": "TITAN Xp"}],
+  "sim_configs": [{"max_waves": 24}, {"l2_ways": 8, "max_waves": 24}, {"l1_ways": 8, "max_waves": 24},
+                  {"max_waves": 32}, {"l2_ways": 8, "max_waves": 32}, {"row_major_scheduling": true, "max_waves": 32}]
+}}'
+
+poll_done() { # host, job id -> waits out of running, echoes final status
+  local status=running
+  for _ in $(seq 1 600); do
+    status=$(curl -fsS "http://$1/v2/jobs/$2" | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+    [ "$status" != running ] && break
+    sleep 0.2
+  done
+  echo "$status"
+}
+
+# Reference: the sweep uninterrupted on a single node.
+REF_ID=$(curl -fsS "http://$REF/v2/jobs" -d "$SCENARIO" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+STATUS=$(poll_done "$REF" "$REF_ID")
+if [ "$STATUS" != done ]; then
+  echo "fleet-e2e: reference job ended as '$STATUS'" >&2
+  exit 1
+fi
+curl -fsS "http://$REF/v2/jobs/$REF_ID" > /tmp/fleet_reference.json
+echo "fleet-e2e: single-node reference done"
+
+# The same sweep through the coordinator; kill -9 a worker once results are
+# flowing but before the sweep can be finished. The scenario has a single
+# workload x device, so memo-key affinity routes every shard to the same
+# peer — find that peer in the coordinator's shard metrics and kill it, so
+# the kill always lands on the worker holding the remaining shards.
+FLEET_ID=$(curl -fsS "http://$CO/v2/jobs" -d "$SCENARIO" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+echo "fleet-e2e: submitted fleet job $FLEET_ID"
+DONE=0 STATUS=running
+for _ in $(seq 1 400); do
+  read -r DONE STATUS < <(curl -fsS "http://$CO/v2/jobs/$FLEET_ID" \
+    | python3 -c 'import json,sys; j=json.load(sys.stdin); print(j["done"], j["status"])')
+  [ "$DONE" -ge 1 ] && break
+  [ "$STATUS" != running ] && break
+  sleep 0.05
+done
+BUSY=$(curl -fsS "http://$CO/metrics" | python3 -c '
+import re, sys
+for l in sys.stdin:
+    m = re.match(r"delta_cluster_shards_total\{.*peer=\"([^\"]+)\".*\} (\S+)", l)
+    if m and float(m.group(2)) > 0:
+        print(m.group(1))
+        break
+')
+case "$BUSY" in
+  "$W1") KILL_PID=$W1_PID ;;
+  "$W2") KILL_PID=$W2_PID ;;
+  *) echo "fleet-e2e: cannot identify busy worker from metrics (got '$BUSY')" >&2; exit 1 ;;
+esac
+kill -9 "$KILL_PID"
+wait "$KILL_PID" 2>/dev/null || true
+if [ "$STATUS" != running ] || [ "$DONE" -lt 1 ] || [ "$DONE" -ge 6 ]; then
+  echo "fleet-e2e: fleet job was done=$DONE status=$STATUS at kill time; not a mid-sweep kill" >&2
+  exit 1
+fi
+echo "fleet-e2e: killed -9 busy worker $BUSY with $DONE/6 results merged"
+
+STATUS=$(poll_done "$CO" "$FLEET_ID")
+if [ "$STATUS" != done ]; then
+  echo "fleet-e2e: fleet job ended as '$STATUS'" >&2
+  curl -fsS "http://$CO/v2/jobs/$FLEET_ID" >&2 || true
+  exit 1
+fi
+curl -fsS "http://$CO/v2/jobs/$FLEET_ID" > /tmp/fleet_merged.json
+
+# The merged sweep must equal the single-node run point for point: dense
+# indices, no duplicated or missing points, identical payloads.
+python3 - <<'EOF'
+import json
+merged = json.load(open("/tmp/fleet_merged.json"))
+reference = json.load(open("/tmp/fleet_reference.json"))
+assert merged["done"] == merged["total"] == 6, (merged["done"], merged["total"])
+for i, r in enumerate(merged["results"]):
+    assert r["index"] == i, "merged results out of order"
+assert merged["results"] == reference["results"], "merged results diverge from single-node run"
+print("fleet-e2e: merged results identical to single-node run")
+EOF
+
+# The fleet metrics must show the reassignment: retries moved, every point
+# merged, nothing left in flight.
+curl -fsS "http://$CO/metrics" | python3 -c '
+import sys
+metrics = {}
+for l in sys.stdin:
+    if l.strip() and not l.startswith("#"):
+        name, _, value = l.rpartition(" ")
+        metrics[name] = float(value)
+
+def total(prefix):
+    return sum(v for k, v in metrics.items() if k.startswith(prefix))
+
+assert metrics.get("delta_cluster_shard_retries_total", 0) > 0, "no shard retries counted"
+assert metrics.get("delta_cluster_points_merged_total", 0) >= 6, "points not merged"
+assert metrics.get("delta_cluster_shards_in_flight", -1) == 0, "shards still in flight"
+assert metrics.get("delta_cluster_peers", 0) == 2, "peer gauge missing"
+assert total("delta_cluster_shards_total") > 0, "no shard attempts counted"
+print("fleet-e2e: fleet metrics OK")
+'
+
+# One of two workers is gone: the fleet has lost quorum (majority), so the
+# coordinator must degrade readiness.
+CODE=$(curl -s -o /tmp/fleet_health.json -w '%{http_code}' "http://$CO/healthz")
+if [ "$CODE" != 503 ]; then
+  echo "fleet-e2e: post-kill /healthz answered $CODE, want 503" >&2
+  cat /tmp/fleet_health.json >&2
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+j = json.load(open("/tmp/fleet_health.json"))
+assert j["status"] == "degraded", j["status"]
+assert j["fleet"]["quorum"] is False, j["fleet"]
+up = sum(1 for p in j["fleet"]["peers"] if p["ok"])
+assert up == 1, j["fleet"]["peers"]
+print("fleet-e2e: degraded healthz OK")
+EOF
+
+echo "fleet-e2e: PASS"
