@@ -37,8 +37,16 @@
 // result frames. With -coordinator -peers=<list|@file>, submitted /v2
 // jobs are instead sharded across those workers (internal/cluster) and
 // merged back in expansion order, byte-identical to a single-node run;
-// failed workers' shards are reassigned with bounded retries. See the
+// failed workers' shards are reassigned with bounded retries, chronically
+// failing peers are fenced by per-peer circuit breakers, stragglers are
+// hedged to healthy peers, and shard deadlines adapt to the fleet's
+// observed pace (-breaker-*, -hedge-*, -shard-deadline-floor). See the
 // README's "Distributed sweeps" section.
+//
+// Chaos testing: -chaos arms a seeded deterministic fault injector
+// (internal/chaos) on the server's listener — refusals, synthetic 5xx,
+// latency, and SSE-frame cut/truncate/corrupt — for resilience drills
+// that replay identically from their seed ($DELTA_CHAOS_SEED).
 //
 // Example:
 //
@@ -56,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,6 +73,7 @@ import (
 	"time"
 
 	"delta"
+	"delta/internal/chaos"
 	"delta/internal/durable"
 	"delta/internal/spec"
 )
@@ -107,6 +117,21 @@ func main() {
 			"dispatch attempts per shard before a coordinated sweep fails (0 = default max(3, peers+1))")
 		shardTimeout = flag.Duration("shard-timeout", 0,
 			"bound on one shard attempt when coordinating (0 = default 10m)")
+		breakerThreshold = flag.Int("breaker-threshold", 0,
+			"consecutive failures before a peer's circuit breaker opens (0 = default 3)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0,
+			"how long an open peer breaker waits before a half-open probe (0 = default 10s)")
+		hedgeMultiplier = flag.Float64("hedge-multiplier", 0,
+			"re-dispatch a shard when this many times slower than the fleet's median pace (0 = default 4, negative disables)")
+		hedgeInterval = flag.Duration("hedge-interval", 0,
+			"straggler-monitor poll period (0 = default 500ms)")
+		hedgeFloor = flag.Duration("hedge-floor", 0,
+			"minimum shard attempt age before hedging (0 = default 2s)")
+		deadlineFloor = flag.Duration("shard-deadline-floor", 0,
+			"lower clamp on adaptive shard deadlines (0 = default 30s)")
+
+		chaosFlag = flag.String("chaos", "",
+			`fault-injection spec (JSON rules or @file, see internal/chaos): injects connection refusals, 5xx, latency, and SSE-frame cut/truncate/corrupt into accepted connections; seeded by the spec or $DELTA_CHAOS_SEED`)
 	)
 	flag.Parse()
 	// The env var is read after flag parsing, not wired as the flag
@@ -162,10 +187,16 @@ func main() {
 		RateBurst:     *rateBurst,
 		MaxInFlight:   *maxInflight,
 		AccessLog:     log.Default(),
-		Peers:         peers,
-		ShardsPerPeer: *shardsPerPeer,
-		ShardAttempts: *shardAttempts,
-		ShardTimeout:  *shardTimeout,
+		Peers:            peers,
+		ShardsPerPeer:    *shardsPerPeer,
+		ShardAttempts:    *shardAttempts,
+		ShardTimeout:     *shardTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		HedgeMultiplier:  *hedgeMultiplier,
+		HedgeInterval:    *hedgeInterval,
+		HedgeFloor:       *hedgeFloor,
+		DeadlineFloor:    *deadlineFloor,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "delta-server:", err)
@@ -184,8 +215,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "delta-server:", err)
+		os.Exit(1)
+	}
+	if *chaosFlag != "" {
+		cspec, err := chaos.ParseSpec(*chaosFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta-server: -chaos:", err)
+			os.Exit(2)
+		}
+		inj, err := chaos.New(cspec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta-server: -chaos:", err)
+			os.Exit(2)
+		}
+		// Injections land in the server log, so a failed chaos drill shows
+		// exactly which faults fired in what order — and the seed to replay
+		// them.
+		inj.Logf(log.Printf)
+		ln = inj.Listener(ln)
+		log.Printf("delta-server: CHAOS fault injection armed: %d rule(s), seed %d", len(cspec.Rules), chaos.Seed(cspec.Seed))
+	}
+
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	log.Printf("delta-server listening on %s", *addr)
 
 	// closeDurable drains running jobs into the WAL and compacts the store

@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseSpec parses the -chaos flag value: inline JSON (`{"rules": [...]}`)
+// or `@path/to/spec.json`. A bare rule list (`[{"fault": ...}]`) is also
+// accepted as shorthand for a spec with only rules.
+func ParseSpec(s string) (Spec, error) {
+	raw := strings.TrimSpace(s)
+	if strings.HasPrefix(raw, "@") {
+		b, err := os.ReadFile(raw[1:])
+		if err != nil {
+			return Spec{}, fmt.Errorf("chaos: read spec: %w", err)
+		}
+		raw = strings.TrimSpace(string(b))
+	}
+	var spec Spec
+	if strings.HasPrefix(raw, "[") {
+		if err := json.Unmarshal([]byte(raw), &spec.Rules); err != nil {
+			return Spec{}, fmt.Errorf("chaos: parse rules: %w", err)
+		}
+	} else if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		return Spec{}, fmt.Errorf("chaos: parse spec: %w", err)
+	}
+	if len(spec.Rules) == 0 {
+		return Spec{}, fmt.Errorf("chaos: spec has no rules")
+	}
+	for i, r := range spec.Rules {
+		if err := r.validate(); err != nil {
+			return Spec{}, fmt.Errorf("%w (rule %d)", err, i)
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,151 @@
+// Per-peer circuit breakers: a peer that keeps failing stops receiving
+// dispatches until a cooldown passes and a single half-open probe
+// succeeds. Breakers live on the Coordinator (one per peer, shared
+// across sweeps and with the health prober), so a flapping worker is
+// remembered between jobs instead of burning every sweep's attempt
+// budget rediscovering it.
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a breaker's position in the closed → open → half-open
+// cycle. The numeric values are exported as the
+// delta_cluster_breaker_state{peer} gauge.
+type BreakerState int
+
+const (
+	// BreakerClosed admits traffic; consecutive failures are counted.
+	BreakerClosed BreakerState = 0
+
+	// BreakerHalfOpen admits exactly one probe; its outcome closes or
+	// reopens the breaker.
+	BreakerHalfOpen BreakerState = 1
+
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is one peer's circuit breaker. The zero value is unusable; use
+// newBreaker.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	fails     int // consecutive failures while closed
+	openedAt  time.Time
+	probing   bool // the half-open probe slot is taken
+	onChange  func(BreakerState)
+	now       func() time.Time
+}
+
+// newBreaker builds a closed breaker that opens after threshold
+// consecutive failures and retries after cooldown. onChange (optional)
+// observes every state transition, including the initial closed state —
+// so a metrics gauge exists from construction.
+func newBreaker(threshold int, cooldown time.Duration, onChange func(BreakerState)) *Breaker {
+	b := &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		onChange:  onChange,
+		now:       time.Now,
+	}
+	if onChange != nil {
+		onChange(BreakerClosed)
+	}
+	return b
+}
+
+// State reports the current state, promoting an expired open breaker to
+// half-open so callers reading state (health reports, routing) see the
+// same view Allow would grant.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.set(BreakerHalfOpen)
+	}
+	return b.state
+}
+
+// Allow reports whether a dispatch may proceed. Closed always admits;
+// open admits nothing until the cooldown elapses, then converts to
+// half-open and admits exactly one probe; further half-open requests are
+// rejected until the probe resolves via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.set(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful exchange: the breaker closes from any
+// state and the failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.set(BreakerClosed)
+}
+
+// Failure records a failed exchange. A closed breaker opens once the
+// consecutive-failure streak reaches the threshold; a half-open probe
+// failure reopens immediately; failures while open (forced traffic when
+// every peer's breaker is open) refresh the cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openedAt = b.now()
+			b.set(BreakerOpen)
+		}
+	default: // half-open probe failed, or already open
+		b.probing = false
+		b.openedAt = b.now()
+		b.set(BreakerOpen)
+	}
+}
+
+// set transitions state and notifies; callers hold b.mu.
+func (b *Breaker) set(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.onChange != nil {
+		b.onChange(s)
+	}
+}

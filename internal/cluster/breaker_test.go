@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full closed → open → half-open cycle on
+// a fake clock and pins every transition the onChange observer sees.
+func TestBreakerLifecycle(t *testing.T) {
+	var states []BreakerState
+	now := time.Unix(0, 0)
+	b := newBreaker(3, 10*time.Second, func(s BreakerState) { states = append(states, s) })
+	b.now = func() time.Time { return now }
+
+	if len(states) != 1 || states[0] != BreakerClosed {
+		t.Fatalf("construction transitions = %v, want initial closed", states)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected traffic")
+	}
+
+	// Two failures stay under the threshold; a success resets the streak.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v", b.State())
+	}
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+
+	// The third consecutive failure opens the breaker.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker rejected the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent half-open probe admitted")
+	}
+
+	// Probe failure reopens with a fresh cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+
+	// Next probe succeeds: closed again, admitting freely.
+	now = now.Add(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+
+	want := []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen, BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(states) != len(want) {
+		t.Fatalf("transitions = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v (%v)", i, states[i], want[i], states)
+		}
+	}
+}
+
+// TestBreakerStatePromotesExpiredOpen: State() alone reports half-open
+// once the cooldown has passed, matching what Allow would grant.
+func TestBreakerStatePromotesExpiredOpen(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Second, nil)
+	b.now = func() time.Time { return now }
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	now = now.Add(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("expired open breaker reports %v, want half-open", b.State())
+	}
+}
+
+// TestBackoffForNoOverflow pins the satellite fix: the former
+// `base << (attempt-1)` overflowed into huge or negative delays once the
+// attempt count outgrew the Duration width. backoffFor must stay positive
+// and capped (max + 50% jitter) for arbitrarily high attempts.
+func TestBackoffForNoOverflow(t *testing.T) {
+	base, max := 250*time.Millisecond, 5*time.Second
+	ceiling := max + max/2
+	for n := 1; n <= 200; n++ {
+		for trial := 0; trial < 8; trial++ {
+			d := backoffFor(base, max, n)
+			if d <= 0 {
+				t.Fatalf("attempt %d: non-positive backoff %v", n, d)
+			}
+			if d > ceiling {
+				t.Fatalf("attempt %d: backoff %v above jittered cap %v", n, d, ceiling)
+			}
+		}
+	}
+	// Early attempts still grow exponentially: attempt 1 jitters around
+	// base, attempt 3 around 4*base.
+	for trial := 0; trial < 8; trial++ {
+		if d := backoffFor(base, max, 1); d < base/2 || d > base+base/2 {
+			t.Fatalf("attempt 1: backoff %v outside [%v, %v]", d, base/2, base+base/2)
+		}
+		if d := backoffFor(base, max, 3); d < 2*base || d > 6*base {
+			t.Fatalf("attempt 3: backoff %v outside [%v, %v]", d, 2*base, 6*base)
+		}
+	}
+	// The exact shift widths where the old code overflowed.
+	for _, n := range []int{62, 63, 64, 65, 100} {
+		if d := backoffFor(time.Second, 5*time.Second, n); d <= 0 || d > 5*time.Second+5*time.Second/2 {
+			t.Fatalf("attempt %d: backoff %v (overflow regression)", n, d)
+		}
+	}
+}

@@ -3,10 +3,17 @@
 // memo-key affinity (hash of the shard's leading workload/device axes, so
 // repeated sweeps keep each worker's pipeline memo and stream caches hot),
 // stream the shard results back over SSE, and merge them into exact
-// scenario.Expand order. Failed or timed-out shards are reassigned to the
-// next peer with jittered exponential backoff and a bounded attempt
-// budget; the per-shard resume offset advances past results already
-// merged, so retries never recompute or duplicate points.
+// scenario.Expand order.
+//
+// Failure handling is layered. Failed or timed-out shards are reassigned
+// to the next peer with capped, jittered exponential backoff under a
+// bounded attempt budget; the per-shard resume offset advances past
+// results already merged, so retries never recompute or duplicate points.
+// Per-peer circuit breakers (breaker.go) take chronically failing peers
+// out of the rotation; a hedge monitor (hedge.go) re-sends straggling
+// shards to a healthy peer with first-completion-wins semantics; and
+// shard deadlines adapt to the fleet's observed pace instead of the
+// worst-case ShardTimeout.
 package cluster
 
 import (
@@ -16,7 +23,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log"
-	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -32,23 +38,31 @@ import (
 // Metrics is the fleet's instrumentation; register with NewMetrics and
 // share one instance across sweeps. A nil *Metrics disables recording.
 type Metrics struct {
-	Shards   *obs.CounterVec // delta_cluster_shards_total{peer,status}
-	Retries  *obs.Counter    // delta_cluster_shard_retries_total
-	InFlight *obs.Gauge      // delta_cluster_shards_in_flight
-	Merged   *obs.Counter    // delta_cluster_points_merged_total
-	MergeLag *obs.Gauge      // delta_cluster_merge_lag
-	PeerUp   *obs.GaugeVec   // delta_cluster_peer_up{peer}
+	Shards       *obs.CounterVec // delta_cluster_shards_total{peer,status}
+	Retries      *obs.Counter    // delta_cluster_shard_retries_total
+	InFlight     *obs.Gauge      // delta_cluster_shards_in_flight
+	Merged       *obs.Counter    // delta_cluster_points_merged_total
+	MergeLag     *obs.Gauge      // delta_cluster_merge_lag
+	PeerUp       *obs.GaugeVec   // delta_cluster_peer_up{peer}
+	BreakerState *obs.GaugeVec   // delta_cluster_breaker_state{peer}
+	Hedged       *obs.Counter    // delta_cluster_hedged_shards_total
+	HedgeWins    *obs.Counter    // delta_cluster_hedge_wins_total
+	Deadline     *obs.Gauge      // delta_cluster_adaptive_deadline_seconds
 }
 
 // NewMetrics registers the fleet series on r.
 func NewMetrics(r *obs.Registry) *Metrics {
 	return &Metrics{
-		Shards:   r.CounterVec("delta_cluster_shards_total", "Finished shard attempts by peer and outcome.", "peer", "status"),
-		Retries:  r.Counter("delta_cluster_shard_retries_total", "Shard attempts retried on another peer after a failure."),
-		InFlight: r.Gauge("delta_cluster_shards_in_flight", "Shard attempts currently streaming from peers."),
-		Merged:   r.Counter("delta_cluster_points_merged_total", "Scenario points merged into coordinator results."),
-		MergeLag: r.Gauge("delta_cluster_merge_lag", "Points received out of order, buffered awaiting the in-order merge."),
-		PeerUp:   r.GaugeVec("delta_cluster_peer_up", "Last observed peer reachability (1 ready, 0 unreachable or degraded).", "peer"),
+		Shards:       r.CounterVec("delta_cluster_shards_total", "Finished shard attempts by peer and outcome.", "peer", "status"),
+		Retries:      r.Counter("delta_cluster_shard_retries_total", "Shard attempts retried on another peer after a failure."),
+		InFlight:     r.Gauge("delta_cluster_shards_in_flight", "Shard attempts currently streaming from peers."),
+		Merged:       r.Counter("delta_cluster_points_merged_total", "Scenario points merged into coordinator results."),
+		MergeLag:     r.Gauge("delta_cluster_merge_lag", "Points received out of order, buffered awaiting the in-order merge."),
+		PeerUp:       r.GaugeVec("delta_cluster_peer_up", "Last observed peer reachability (1 ready, 0 unreachable or degraded).", "peer"),
+		BreakerState: r.GaugeVec("delta_cluster_breaker_state", "Per-peer circuit breaker state (0 closed, 1 half-open, 2 open).", "peer"),
+		Hedged:       r.Counter("delta_cluster_hedged_shards_total", "Straggling shard attempts speculatively re-dispatched to another peer."),
+		HedgeWins:    r.Counter("delta_cluster_hedge_wins_total", "Hedged re-dispatches that finished before the original attempt."),
+		Deadline:     r.Gauge("delta_cluster_adaptive_deadline_seconds", "Most recent adaptive shard deadline derived from the fleet's pace."),
 	}
 }
 
@@ -69,12 +83,14 @@ type Config struct {
 	// worker reassigns fractions of the sweep, not halves. Default 4.
 	ShardsPerPeer int
 
-	// MaxAttempts bounds dispatch attempts per shard; default
+	// MaxAttempts bounds failed dispatch attempts per shard; default
 	// max(3, len(Peers)+1) so a single dead peer can never exhaust a
 	// shard's budget before every other peer has had a turn.
 	MaxAttempts int
 
-	// ShardTimeout bounds one shard attempt end to end (default 10m).
+	// ShardTimeout is the hard ceiling on one shard attempt end to end
+	// (default 10m). Once the fleet's pace is known, attempts run under
+	// the tighter adaptive deadline instead (see DeadlineSafety).
 	ShardTimeout time.Duration
 
 	// RetryBackoff is the initial reassignment delay (default 250ms),
@@ -84,6 +100,33 @@ type Config struct {
 
 	// HealthTimeout bounds one peer /healthz probe (default 2s).
 	HealthTimeout time.Duration
+
+	// BreakerThreshold opens a peer's circuit breaker after this many
+	// consecutive failures (default 3); BreakerCooldown is how long it
+	// stays open before a half-open probe (default 10s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// HedgeMultiplier calls an in-flight attempt a straggler when its
+	// elapsed time exceeds HedgeMultiplier × the fleet's median pace for
+	// the points it should have delivered (default 4; negative disables
+	// hedging). HedgeInterval is the monitor's poll period (default
+	// 500ms); HedgeFloor is the minimum age before any attempt may be
+	// hedged (default 2s), keeping short shards un-hedged no matter the
+	// multiplier.
+	HedgeMultiplier float64
+	HedgeInterval   time.Duration
+	HedgeFloor      time.Duration
+
+	// DeadlineFloor and DeadlineSafety shape adaptive shard deadlines:
+	// expected points × median seconds-per-point × DeadlineSafety,
+	// clamped to [DeadlineFloor, ShardTimeout] (defaults 30s and 4).
+	DeadlineFloor  time.Duration
+	DeadlineSafety float64
+
+	// RerouteDelay spaces out queue hops when a peer's breaker rejects a
+	// dispatch (default 100ms) so a fully-open fleet doesn't spin.
+	RerouteDelay time.Duration
 
 	// Token authenticates against the workers' bearer-auth middleware.
 	Token string
@@ -102,9 +145,13 @@ type Config struct {
 	Log      *log.Logger
 }
 
-// Coordinator fans a scenario sweep out across a worker fleet.
+// Coordinator fans a scenario sweep out across a worker fleet. Breakers
+// and the pace EWMA persist across sweeps: the coordinator remembers
+// which peers are broken and how fast the fleet runs.
 type Coordinator struct {
-	cfg Config
+	cfg      Config
+	breakers []*Breaker
+	rates    *peerRates
 }
 
 // New validates the config and applies defaults.
@@ -145,13 +192,47 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.HealthTimeout <= 0 {
 		cfg.HealthTimeout = 2 * time.Second
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 10 * time.Second
+	}
+	if cfg.HedgeMultiplier == 0 {
+		cfg.HedgeMultiplier = 4
+	}
+	if cfg.HedgeInterval <= 0 {
+		cfg.HedgeInterval = 500 * time.Millisecond
+	}
+	if cfg.HedgeFloor <= 0 {
+		cfg.HedgeFloor = 2 * time.Second
+	}
+	if cfg.DeadlineFloor <= 0 {
+		cfg.DeadlineFloor = 30 * time.Second
+	}
+	if cfg.DeadlineSafety <= 0 {
+		cfg.DeadlineSafety = 4
+	}
+	if cfg.RerouteDelay <= 0 {
+		cfg.RerouteDelay = 100 * time.Millisecond
+	}
 	if cfg.HTTP == nil {
 		cfg.HTTP = &http.Client{}
 	}
 	if cfg.Log == nil {
 		cfg.Log = log.Default()
 	}
-	return &Coordinator{cfg: cfg}, nil
+	c := &Coordinator{cfg: cfg, rates: newPeerRates(len(peers))}
+	c.breakers = make([]*Breaker, len(peers))
+	for i, p := range peers {
+		var onChange func(BreakerState)
+		if cfg.Metrics != nil && cfg.Metrics.BreakerState != nil {
+			gauge, label := cfg.Metrics.BreakerState, peerLabel(p)
+			onChange = func(s BreakerState) { gauge.With(label).Set(int64(s)) }
+		}
+		c.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, onChange)
+	}
+	return c, nil
 }
 
 // Peers returns the normalized peer URLs.
@@ -200,13 +281,96 @@ var (
 	errSweepStopped = errors.New("cluster: sweep stopped at failing point")
 )
 
-// shardTask is one shard's mutable dispatch state. It is owned by exactly
-// one runner goroutine at a time (handed off through channels), so no lock.
+// shardTask is one shard's mutable dispatch state. With hedging, a shard
+// can have several attempts in flight at once, so state moves under mu.
 type shardTask struct {
-	idx      int
-	rng      scenario.Range
-	got      int // points already merged from this shard (monotone)
-	attempts int // finished attempts
+	idx int
+	rng scenario.Range
+
+	mu         sync.Mutex
+	got        int // high-water of points merged from this shard (monotone)
+	attempts   int // failed attempts, charged against MaxAttempts
+	dispatches int // total dispatches (including hedges): attempt numbering
+	done       bool
+	inflight   []*shardAttempt
+}
+
+// liftGot raises the shard's merged high-water mark; concurrent hedged
+// attempts only ever push it forward.
+func (t *shardTask) liftGot(n int) {
+	t.mu.Lock()
+	if n > t.got {
+		t.got = n
+	}
+	t.mu.Unlock()
+}
+
+// dispatch is one queue entry: a shard bound for a peer's runner. hops
+// counts breaker-rejected reroutes, so a fully-open fleet eventually
+// forces the dispatch through instead of circulating it forever.
+type dispatch struct {
+	t     *shardTask
+	hedge bool
+	hops  int
+}
+
+// sweepState is one Run's shared machinery: the queues, the merger, the
+// live-attempt set the hedge monitor watches, and the completion counter.
+type sweepState struct {
+	c         *Coordinator
+	sw        Sweep
+	m         *merger
+	queues    []chan dispatch
+	runCtx    context.Context
+	cancel    context.CancelCauseFunc
+	wg        *sync.WaitGroup
+	remaining atomic.Int64
+
+	mu   sync.Mutex
+	live map[*shardAttempt]struct{}
+}
+
+func (st *sweepState) track(att *shardAttempt) {
+	st.mu.Lock()
+	st.live[att] = struct{}{}
+	st.mu.Unlock()
+}
+
+func (st *sweepState) untrack(att *shardAttempt) {
+	st.mu.Lock()
+	delete(st.live, att)
+	st.mu.Unlock()
+}
+
+func (st *sweepState) attempts() []*shardAttempt {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*shardAttempt, 0, len(st.live))
+	for att := range st.live {
+		out = append(out, att)
+	}
+	return out
+}
+
+// enqueue hands a dispatch to a peer's queue from a goroutine, optionally
+// after a delay, giving up when the sweep ends — so no send ever blocks a
+// runner or leaks past Run.
+func (st *sweepState) enqueue(peer int, d dispatch, delay time.Duration) {
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-st.runCtx.Done():
+				return
+			}
+		}
+		select {
+		case st.queues[peer] <- d:
+		case <-st.runCtx.Done():
+		}
+	}()
 }
 
 // Run executes the sweep, delivering merged updates in expansion order via
@@ -242,21 +406,20 @@ func (c *Coordinator) Run(ctx context.Context, sw Sweep, emit func(Update) error
 		emit: emit, failFast: sw.Policy == pipeline.FailFast,
 		stop: func() { cancel(errSweepStopped) }, metrics: c.cfg.Metrics,
 	}
-	var remaining atomic.Int64
-	remaining.Store(int64(len(tasks)))
-
-	// Per-peer queues sized so every possible enqueue (each shard at most
-	// MaxAttempts times) fits without blocking: reassignment never
-	// deadlocks against a stuck runner.
-	queues := make([]chan *shardTask, len(peers))
-	for i := range queues {
-		queues[i] = make(chan *shardTask, len(tasks)*c.cfg.MaxAttempts)
+	var wg sync.WaitGroup
+	st := &sweepState{
+		c: c, sw: sw, m: m, runCtx: runCtx, cancel: cancel, wg: &wg,
+		live: make(map[*shardAttempt]struct{}),
+	}
+	st.remaining.Store(int64(len(tasks)))
+	st.queues = make([]chan dispatch, len(peers))
+	for i := range st.queues {
+		st.queues[i] = make(chan dispatch, len(tasks))
 	}
 	for _, t := range tasks {
-		queues[c.affinity(points[t.rng.Offset])] <- t
+		st.queues[c.affinity(points[t.rng.Offset])] <- dispatch{t: t}
 	}
 
-	var wg sync.WaitGroup
 	for i := range peers {
 		wg.Add(1)
 		go func(peer int) {
@@ -265,11 +428,28 @@ func (c *Coordinator) Run(ctx context.Context, sw Sweep, emit func(Update) error
 				select {
 				case <-runCtx.Done():
 					return
-				case t := <-queues[peer]:
-					c.runShard(runCtx, cancel, sw, peer, t, m, &remaining, queues, &wg)
+				case d := <-st.queues[peer]:
+					if !c.breakers[peer].Allow() && d.hops < len(peers) {
+						// Breaker open: pass the shard along instead of
+						// burning an attempt on a peer known broken. After a
+						// full loop of rejections it runs anyway — the
+						// attempt budget, not the breakers, decides when a
+						// sweep with no healthy peers dies.
+						d.hops++
+						st.enqueue((peer+1)%len(peers), d, c.cfg.RerouteDelay)
+						continue
+					}
+					c.runShard(st, peer, d)
 				}
 			}
 		}(i)
+	}
+	if c.cfg.HedgeMultiplier > 0 && len(peers) > 1 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.hedgeLoop()
+		}()
 	}
 	<-runCtx.Done()
 	wg.Wait()
@@ -285,111 +465,156 @@ func (c *Coordinator) Run(ctx context.Context, sw Sweep, emit func(Update) error
 	}
 }
 
-// runShard runs one dispatch attempt and handles its outcome: completion,
-// reassignment with backoff, or sweep failure when the budget is spent.
-func (c *Coordinator) runShard(runCtx context.Context, cancel context.CancelCauseFunc, sw Sweep, peer int, t *shardTask, m *merger, remaining *atomic.Int64, queues []chan *shardTask, wg *sync.WaitGroup) {
+// runShard runs one dispatch attempt and handles its outcome: completion
+// (first finisher wins, cancelling hedge siblings), reassignment with
+// backoff, or sweep failure when the budget is spent.
+func (c *Coordinator) runShard(st *sweepState, peer int, d dispatch) {
+	t := d.t
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.dispatches++
+	attemptNo := t.dispatches
+	startGot := t.got
+	att := &shardAttempt{t: t, peer: peer, hedge: d.hedge, start: time.Now()}
+	t.inflight = append(t.inflight, att)
+	t.mu.Unlock()
+
 	peerURL := c.cfg.Peers[peer]
-	attempt := t.attempts + 1
-	c.record(sw.JobID, t, peerURL, attempt, durable.ShardDispatched)
+	c.record(st.sw.JobID, t, peerURL, attemptNo, durable.ShardDispatched)
 	if mt := c.cfg.Metrics; mt != nil {
 		mt.InFlight.Inc()
 	}
-	err := c.streamShard(runCtx, sw, peerURL, t, m)
+	actx, acancel := context.WithCancel(st.runCtx)
+	att.cancel = acancel
+	st.track(att)
+	err := c.streamShard(actx, st.sw, peer, att, st.m, startGot)
+	acancel()
+	st.untrack(att)
 	if mt := c.cfg.Metrics; mt != nil {
 		mt.InFlight.Dec()
 	}
-	if runCtx.Err() != nil {
-		// The sweep ended (done, stopped, cancelled, or failed elsewhere)
-		// while this attempt was in flight; its outcome no longer matters.
+
+	t.mu.Lock()
+	for i, a := range t.inflight {
+		if a == att {
+			t.inflight = append(t.inflight[:i], t.inflight[i+1:]...)
+			break
+		}
+	}
+	if t.done || st.runCtx.Err() != nil {
+		// A hedge sibling already finished this shard, or the sweep ended
+		// (done, stopped, cancelled, or failed elsewhere) while this
+		// attempt was in flight; its outcome no longer matters.
+		t.mu.Unlock()
 		return
 	}
 	if err == nil {
-		c.record(sw.JobID, t, peerURL, attempt, durable.ShardDone)
+		t.done = true
+		losers := append([]*shardAttempt(nil), t.inflight...)
+		t.mu.Unlock()
+		for _, l := range losers {
+			l.cancel()
+		}
+		c.breakers[peer].Success()
+		c.record(st.sw.JobID, t, peerURL, attemptNo, durable.ShardDone)
 		if mt := c.cfg.Metrics; mt != nil {
 			mt.Shards.With(peerLabel(peerURL), durable.ShardDone).Inc()
 			mt.PeerUp.With(peerLabel(peerURL)).Set(1)
+			if att.hedge {
+				mt.HedgeWins.Inc()
+			}
 		}
-		if remaining.Add(-1) == 0 {
-			cancel(errSweepDone)
+		if st.remaining.Add(-1) == 0 {
+			st.cancel(errSweepDone)
 		}
 		return
 	}
 
-	t.attempts = attempt
-	c.record(sw.JobID, t, peerURL, attempt, durable.ShardFailed)
+	t.attempts++
+	fails := t.attempts
+	siblings := len(t.inflight)
+	t.mu.Unlock()
+
+	c.breakers[peer].Failure()
+	c.record(st.sw.JobID, t, peerURL, attemptNo, durable.ShardFailed)
 	if mt := c.cfg.Metrics; mt != nil {
 		mt.Shards.With(peerLabel(peerURL), durable.ShardFailed).Inc()
 		mt.PeerUp.With(peerLabel(peerURL)).Set(0)
 	}
 	var ee errEmit
 	if errors.As(err, &ee) {
-		cancel(fmt.Errorf("cluster: merging shard %d: %w", t.idx, ee.err))
+		st.cancel(fmt.Errorf("cluster: merging shard %d: %w", t.idx, ee.err))
 		return
 	}
-	if attempt >= c.cfg.MaxAttempts {
-		cancel(fmt.Errorf("cluster: shard %d [%d,+%d) failed after %d attempt(s), last on %s: %w",
-			t.idx, t.rng.Offset, t.rng.Count, attempt, peerURL, err))
+	if siblings > 0 {
+		// A hedge (or the original) is still streaming this shard; it
+		// inherits sole responsibility for the next move.
+		return
+	}
+	if fails >= c.cfg.MaxAttempts {
+		st.cancel(fmt.Errorf("cluster: shard %d [%d,+%d) failed after %d attempt(s), last on %s: %w",
+			t.idx, t.rng.Offset, t.rng.Count, fails, peerURL, err))
 		return
 	}
 	if mt := c.cfg.Metrics; mt != nil {
 		mt.Retries.Inc()
 	}
-	c.cfg.Log.Printf("cluster: shard %d attempt %d on %s failed (%v); reassigning", t.idx, attempt, peerURL, err)
-	next := (peer + 1) % len(queues)
-	d := c.cfg.RetryBackoff << (attempt - 1)
-	if d > c.cfg.MaxBackoff {
-		d = c.cfg.MaxBackoff
-	}
-	d = d/2 + time.Duration(rand.Int63n(int64(d)))
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		select {
-		case <-time.After(d):
-			queues[next] <- t // buffered for the worst case; never blocks
-		case <-runCtx.Done():
-		}
-	}()
+	c.cfg.Log.Printf("cluster: shard %d attempt %d on %s failed (%v); reassigning", t.idx, attemptNo, peerURL, err)
+	st.enqueue((peer+1)%len(st.queues), dispatch{t: t},
+		backoffFor(c.cfg.RetryBackoff, c.cfg.MaxBackoff, fails))
 }
 
-// streamShard runs one SSE attempt against a peer, advancing the shard's
-// resume offset as in-order results arrive.
-func (c *Coordinator) streamShard(runCtx context.Context, sw Sweep, peerURL string, t *shardTask, m *merger) error {
+// streamShard runs one SSE attempt against a peer, merging results and
+// advancing the shard's resume high-water as in-order frames arrive. The
+// request window starts at the shard's merged high-water when the attempt
+// began, so retries after partial progress re-request only the remainder.
+func (c *Coordinator) streamShard(actx context.Context, sw Sweep, peer int, att *shardAttempt, m *merger, startGot int) error {
+	t := att.t
+	window := t.rng.Count - startGot
 	body, err := json.Marshal(struct {
 		Scenario json.RawMessage `json:"scenario"`
 		Offset   int             `json:"offset"`
 		Limit    int             `json:"limit"`
-	}{sw.Doc, t.rng.Offset + t.got, t.rng.Count - t.got})
+	}{sw.Doc, t.rng.Offset + startGot, window})
 	if err != nil {
 		return errEmit{err} // malformed sweep doc: retrying cannot help
 	}
-	actx, acancel := context.WithTimeout(runCtx, c.cfg.ShardTimeout)
-	defer acancel()
+	sctx, scancel := context.WithTimeout(actx, c.shardDeadline(window))
+	defer scancel()
 	cli := &Client{
 		HTTP: c.cfg.HTTP, Token: c.cfg.Token,
 		Retries: c.cfg.ClientRetries, Backoff: c.cfg.ClientBackoff,
 	}
-	expected := t.rng.Offset + t.got
+	expected := t.rng.Offset + startGot
+	end := t.rng.Offset + t.rng.Count
 	var doneCount int
-	err = cli.Stream(actx, peerURL+"/v2/shards", body, func(ev Event) error {
+	last := att.start
+	err = cli.Stream(sctx, c.cfg.Peers[peer]+"/v2/shards", body, func(ev Event) error {
 		switch ev.Type {
 		case "result":
 			var res wireResult
 			if uerr := json.Unmarshal(ev.Data, &res); uerr != nil {
-				return fmt.Errorf("cluster: bad result frame: %w", uerr)
+				return BadFrameError{fmt.Errorf("cluster: bad result frame: %w", uerr)}
 			}
 			if res.Index != expected {
-				return fmt.Errorf("cluster: shard %d: point %d out of order (want %d)", t.idx, res.Index, expected)
+				return BadFrameError{fmt.Errorf("cluster: shard %d: point %d out of order (want %d)", t.idx, res.Index, expected)}
 			}
 			if merr := m.deliver(Update{Index: res.Index, Err: res.Error, Payload: res.Payload}); merr != nil {
 				return merr
 			}
-			t.got++
 			expected++
+			att.delivered.Add(1)
+			now := time.Now()
+			c.rates.observe(peer, now.Sub(last).Seconds())
+			last = now
+			t.liftGot(expected - t.rng.Offset)
 		case "done":
 			var d wireDone
 			if uerr := json.Unmarshal(ev.Data, &d); uerr != nil {
-				return fmt.Errorf("cluster: bad done frame: %w", uerr)
+				return BadFrameError{fmt.Errorf("cluster: bad done frame: %w", uerr)}
 			}
 			if d.Error != "" {
 				return fmt.Errorf("cluster: worker failed shard: %s", d.Error)
@@ -401,9 +626,12 @@ func (c *Coordinator) streamShard(runCtx context.Context, sw Sweep, peerURL stri
 	if err != nil {
 		return err
 	}
-	if t.got != t.rng.Count || doneCount != t.rng.Count {
-		return fmt.Errorf("cluster: shard %d short: got %d of %d point(s) (done frame said %d)",
-			t.idx, t.got, t.rng.Count, doneCount)
+	// The worker's done frame counts this attempt's request window, not
+	// the whole shard — an attempt resuming after partial progress
+	// streams only the remainder.
+	if expected != end || doneCount != window {
+		return fmt.Errorf("cluster: shard %d short: got %d of %d point(s) (done frame said %d of %d)",
+			t.idx, expected-t.rng.Offset, t.rng.Count, doneCount, window)
 	}
 	return nil
 }
@@ -441,9 +669,10 @@ func peerLabel(u string) string {
 
 // merger folds concurrent shard results back into expansion order: updates
 // buffer until their index is next, then emit in order. Stale duplicates
-// (reconnect replays racing an advanced resume offset) are dropped; under
-// FailFast the first erroring in-order point stops the sweep exactly where
-// a single-node fail-fast stream would.
+// (reconnect replays racing an advanced resume offset, or a hedge pair
+// covering the same window) are dropped; under FailFast the first erroring
+// in-order point stops the sweep exactly where a single-node fail-fast
+// stream would.
 type merger struct {
 	mu       sync.Mutex
 	next     int
@@ -494,14 +723,19 @@ func (m *merger) deliver(u Update) error {
 
 // PeerStatus is one peer's probed health.
 type PeerStatus struct {
-	Peer string `json:"peer"`
-	OK   bool   `json:"ok"`
-	Err  string `json:"error,omitempty"`
+	Peer    string `json:"peer"`
+	OK      bool   `json:"ok"`
+	Err     string `json:"error,omitempty"`
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // PeerHealth probes every peer's /healthz concurrently (bounded by
 // HealthTimeout) and updates the per-peer reachability gauge. A peer is OK
 // only on HTTP 200 — reachable-but-degraded workers count against quorum.
+// Probes ride the same circuit breakers as shard traffic: an open breaker
+// skips the HTTP probe entirely (reporting the peer down with "breaker
+// open"), and probe outcomes feed the breaker, so /healthz polling is what
+// walks a recovering peer through half-open back to closed.
 func (c *Coordinator) PeerHealth(ctx context.Context) []PeerStatus {
 	out := make([]PeerStatus, len(c.cfg.Peers))
 	var wg sync.WaitGroup
@@ -509,7 +743,17 @@ func (c *Coordinator) PeerHealth(ctx context.Context) []PeerStatus {
 		wg.Add(1)
 		go func(i int, peerURL string) {
 			defer wg.Done()
+			br := c.breakers[i]
 			st := PeerStatus{Peer: peerLabel(peerURL)}
+			if !br.Allow() {
+				st.Err = "breaker open"
+				st.Breaker = br.State().String()
+				if mt := c.cfg.Metrics; mt != nil {
+					mt.PeerUp.With(st.Peer).Set(0)
+				}
+				out[i] = st
+				return
+			}
 			pctx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
 			defer cancel()
 			req, err := http.NewRequestWithContext(pctx, http.MethodGet, peerURL+"/healthz", nil)
@@ -528,6 +772,12 @@ func (c *Coordinator) PeerHealth(ctx context.Context) []PeerStatus {
 			if err != nil {
 				st.Err = err.Error()
 			}
+			if st.OK {
+				br.Success()
+			} else {
+				br.Failure()
+			}
+			st.Breaker = br.State().String()
 			if mt := c.cfg.Metrics; mt != nil {
 				up := int64(0)
 				if st.OK {

@@ -1,0 +1,193 @@
+// Straggler handling: the coordinator keeps a per-peer EWMA of observed
+// seconds-per-point (fed by the merge path as result frames arrive) and a
+// hedge monitor that watches in-flight shard attempts. An attempt lagging
+// HedgeMultiplier× behind the fleet median pace is speculatively re-sent
+// to the healthiest other peer; the first completion wins, the loser is
+// cancelled, and the merger's index dedupe keeps the overlap invisible.
+// The same EWMA drives adaptive shard deadlines — expected points ×
+// median pace × safety factor — replacing the one-size ShardTimeout.
+package cluster
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// peerRates tracks one EWMA of seconds-per-point per peer. It lives on
+// the Coordinator, persisting across sweeps, so a follow-up sweep starts
+// with a calibrated pace instead of re-learning the fleet.
+type peerRates struct {
+	mu   sync.Mutex
+	ewma []float64 // seconds per point; 0 = never observed
+}
+
+// ewmaAlpha weights new observations ~30%: noisy single frames don't whip
+// the pace around, but a genuinely slowed peer shows within a few points.
+const ewmaAlpha = 0.3
+
+func newPeerRates(n int) *peerRates { return &peerRates{ewma: make([]float64, n)} }
+
+// observe folds one inter-result gap into the peer's pace.
+func (r *peerRates) observe(peer int, secPerPoint float64) {
+	if secPerPoint < 0 || math.IsNaN(secPerPoint) || math.IsInf(secPerPoint, 0) {
+		return
+	}
+	r.mu.Lock()
+	if cur := r.ewma[peer]; cur == 0 {
+		r.ewma[peer] = secPerPoint
+	} else {
+		r.ewma[peer] = ewmaAlpha*secPerPoint + (1-ewmaAlpha)*cur
+	}
+	r.mu.Unlock()
+}
+
+// rate returns the peer's pace (0 = unknown).
+func (r *peerRates) rate(peer int) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ewma[peer]
+}
+
+// median returns the fleet's median pace over peers with observations —
+// the LOWER median, deliberately optimistic: when half the fleet is slow,
+// the healthy half defines "on pace" and the slow half reads as lagging.
+// Returns 0 until any peer has been observed.
+func (r *peerRates) median() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var known []float64
+	for _, v := range r.ewma {
+		if v > 0 {
+			known = append(known, v)
+		}
+	}
+	if len(known) == 0 {
+		return 0
+	}
+	sort.Float64s(known)
+	return known[(len(known)-1)/2]
+}
+
+// shardAttempt is one live dispatch of a shard to a peer, visible to the
+// hedge monitor while streaming.
+type shardAttempt struct {
+	t     *shardTask
+	peer  int
+	hedge bool
+	start time.Time
+
+	cancel func()
+
+	// delivered counts result frames merged by this attempt.
+	delivered atomic.Int64
+
+	// hedged marks that the monitor already issued a hedge for this
+	// attempt (set under t.mu).
+	hedged bool
+}
+
+// shardDeadline derives one attempt's deadline from the fleet pace:
+// expected points × median seconds-per-point × DeadlineSafety, clamped to
+// [DeadlineFloor, ShardTimeout]. With no pace observed yet (first shards
+// of a cold coordinator) the full ShardTimeout applies.
+func (c *Coordinator) shardDeadline(points int) time.Duration {
+	med := c.rates.median()
+	if med <= 0 || points <= 0 {
+		return c.cfg.ShardTimeout
+	}
+	d := time.Duration(float64(points) * med * c.cfg.DeadlineSafety * float64(time.Second))
+	if d < c.cfg.DeadlineFloor {
+		d = c.cfg.DeadlineFloor
+	}
+	if d > c.cfg.ShardTimeout {
+		d = c.cfg.ShardTimeout
+	}
+	if mt := c.cfg.Metrics; mt != nil {
+		mt.Deadline.Set(int64(math.Ceil(d.Seconds())))
+	}
+	return d
+}
+
+// hedgeLoop watches in-flight attempts every HedgeInterval and re-sends
+// stragglers. It exits when the sweep's context ends.
+func (st *sweepState) hedgeLoop() {
+	tick := time.NewTicker(st.c.cfg.HedgeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-st.runCtx.Done():
+			return
+		case <-tick.C:
+		}
+		med := st.c.rates.median()
+		if med <= 0 {
+			// No pace observed yet: nothing to call a straggler against.
+			continue
+		}
+		for _, att := range st.attempts() {
+			st.maybeHedge(att, med)
+		}
+	}
+}
+
+// maybeHedge hedges one attempt if it is a straggler: elapsed time beyond
+// HedgeFloor and beyond HedgeMultiplier× the median time the fleet would
+// need for the progress it should have made (delivered+1 points — the +1
+// keeps a zero-progress attempt measurable).
+func (st *sweepState) maybeHedge(att *shardAttempt, med float64) {
+	c := st.c
+	if att.hedge {
+		return // hedges are not themselves hedged
+	}
+	elapsed := time.Since(att.start)
+	if elapsed < c.cfg.HedgeFloor {
+		return
+	}
+	expect := med * float64(att.delivered.Load()+1) * c.cfg.HedgeMultiplier
+	if elapsed.Seconds() <= expect {
+		return
+	}
+	t := att.t
+	t.mu.Lock()
+	if t.done || att.hedged || len(t.inflight) > 1 {
+		t.mu.Unlock()
+		return
+	}
+	att.hedged = true
+	t.mu.Unlock()
+
+	target, ok := st.hedgeTarget(att.peer)
+	if !ok {
+		return
+	}
+	if mt := c.cfg.Metrics; mt != nil {
+		mt.Hedged.Inc()
+	}
+	c.cfg.Log.Printf("cluster: shard %d lagging on %s (%.1fs elapsed, fleet median %.3fs/point); hedging to %s",
+		t.idx, peerLabel(c.cfg.Peers[att.peer]), elapsed.Seconds(), med, peerLabel(c.cfg.Peers[target]))
+	st.enqueue(target, dispatch{t: t, hedge: true}, 0)
+}
+
+// hedgeTarget picks the fastest other peer whose breaker admits traffic;
+// peers with no observed pace count as median-paced.
+func (st *sweepState) hedgeTarget(not int) (int, bool) {
+	c := st.c
+	med := c.rates.median()
+	best, bestRate, found := 0, math.Inf(1), false
+	for i := range c.cfg.Peers {
+		if i == not || c.breakers[i].State() == BreakerOpen {
+			continue
+		}
+		r := c.rates.rate(i)
+		if r == 0 {
+			r = med
+		}
+		if r < bestRate {
+			best, bestRate, found = i, r, true
+		}
+	}
+	return best, found
+}

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -61,6 +60,19 @@ type Client struct {
 type errEmit struct{ err error }
 
 func (e errEmit) Error() string { return e.err.Error() }
+
+// BadFrameError marks a frame whose payload failed validation —
+// unparseable JSON, an out-of-order index — the stream analogue of a
+// corrupt WAL record. Returned from an emit callback, it is treated as a
+// connection-level fault rather than a caller abort: the client drops the
+// connection and reconnects with Last-Event-ID pointing at the last GOOD
+// frame (a corrupt frame never advances the resume id), so the worker
+// re-serves a clean copy. Persistent corruption with no progress in
+// between exhausts Retries like any other connection failure.
+type BadFrameError struct{ Err error }
+
+func (e BadFrameError) Error() string { return e.Err.Error() }
+func (e BadFrameError) Unwrap() error { return e.Err }
 
 // Stream POSTs body (application/json) to url and delivers each SSE frame
 // to emit, in order, each exactly once across reconnects. It returns nil
@@ -111,13 +123,10 @@ func (c *Client) Stream(ctx context.Context, url string, body []byte, emit func(
 		if fails > retries {
 			return fmt.Errorf("cluster: sse: %s: giving up after %d attempt(s): %w", url, fails, lastErr)
 		}
-		d := base << (fails - 1)
-		if d > maxB {
-			d = maxB
-		}
-		// ±50% jitter keeps a fleet of coordinators from thundering back
-		// in lockstep after a shared outage.
-		d = d/2 + time.Duration(rand.Int63n(int64(d)))
+		// Capped, jittered exponential backoff; the jitter keeps a fleet
+		// of coordinators from thundering back in lockstep after a shared
+		// outage.
+		d := backoffFor(base, maxB, fails)
 		select {
 		case <-time.After(d):
 		case <-ctx.Done():
@@ -161,13 +170,20 @@ func (c *Client) attempt(ctx context.Context, httpc *http.Client, url string, bo
 		return false, false, err
 	}
 	perr := parseSSE(resp.Body, func(ev Event) error {
+		// Emit first: the resume id and progress advance only past frames
+		// the caller accepted, so a frame rejected as corrupt is re-served
+		// on reconnect instead of silently skipped.
+		if err := emit(ev); err != nil {
+			var bf BadFrameError
+			if errors.As(err, &bf) {
+				return err // reconnect and resume from the last good frame
+			}
+			return errEmit{err}
+		}
 		if ev.ID > 0 {
 			*lastID = ev.ID
 		}
 		progressed = true
-		if err := emit(ev); err != nil {
-			return errEmit{err}
-		}
 		if ev.Type == "done" {
 			done = true
 			return errStreamEnd

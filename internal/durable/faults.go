@@ -4,8 +4,11 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
+
+	"delta/internal/chaos"
 )
 
 // Fault-injection helpers for pinning the durability layer's failure
@@ -14,16 +17,27 @@ import (
 // in the package proper, not a _test file, so the delta-server tests and
 // fault drills can reuse them.
 
-// FlakySink fails its first FailFirst Flush calls, then delegates to Next
-// (or swallows events when Next is nil). Safe for concurrent use.
+// FlakySink fails its first FailFirst Flush calls and, optionally, a
+// seeded random fraction of the rest, then delegates to Next (or swallows
+// events when Next is nil). Safe for concurrent use.
 type FlakySink struct {
-	// FailFirst is how many leading Flush calls fail.
+	// FailFirst is how many leading Flush calls fail deterministically.
 	FailFirst int
+
+	// FailProb, when > 0, fails each later Flush with this probability,
+	// drawn from a PRNG seeded by the fleet's shared chaos convention:
+	// Seed when non-zero, else the DELTA_CHAOS_SEED environment variable,
+	// else 1 (see chaos.Seed). A failed flaky-sink drill therefore replays
+	// its exact failure pattern from the logged seed, the same way a
+	// network chaos run replays from its injector seed.
+	FailProb float64
+	Seed     int64
 
 	// Next receives batches once the sink recovers; nil discards them.
 	Next Sink
 
 	mu      sync.Mutex
+	rng     *rand.Rand
 	calls   int
 	flushed []Event
 }
@@ -33,13 +47,25 @@ func (s *FlakySink) Name() string { return "flaky" }
 func (s *FlakySink) Flush(ctx context.Context, events []Event) error {
 	s.mu.Lock()
 	s.calls++
-	fail := s.calls <= s.FailFirst
+	call := s.calls
+	fail := call <= s.FailFirst
+	seeded := false
+	if !fail && s.FailProb > 0 {
+		if s.rng == nil {
+			s.rng = rand.New(rand.NewSource(chaos.Seed(s.Seed)))
+		}
+		fail = s.rng.Float64() < s.FailProb
+		seeded = fail
+	}
 	if !fail && s.Next == nil {
 		s.flushed = append(s.flushed, events...)
 	}
 	s.mu.Unlock()
+	if seeded {
+		return fmt.Errorf("durable: flaky sink: seeded failure (call %d, p=%.2f)", call, s.FailProb)
+	}
 	if fail {
-		return fmt.Errorf("durable: flaky sink: injected failure %d/%d", s.calls, s.FailFirst)
+		return fmt.Errorf("durable: flaky sink: injected failure %d/%d", call, s.FailFirst)
 	}
 	if s.Next != nil {
 		return s.Next.Flush(ctx, events)

@@ -1,22 +1,45 @@
 #!/usr/bin/env bash
-# End-to-end smoke of distributed sweeps: build delta-server, start two
-# workers plus a coordinator (-coordinator -peers=@file) and a single-node
-# reference server, run the same simulation sweep on both, kill -9 one
-# worker mid-sweep, and assert (1) the coordinator reassigns the dead
-# worker's shards and finishes with results identical point for point to
-# the single-node run — no duplicated or missing points — (2) the
-# delta_cluster_* fleet metrics moved (shard retries > 0), and (3) the
-# coordinator's /healthz degrades to 503 once the fleet loses quorum.
-# Run by the CI fleet-e2e job and usable locally: ./scripts/fleet_e2e.sh
+# End-to-end exercises of distributed sweeps, split into legs selectable
+# via LEGS (default: all). Every leg builds the same assertion core: the
+# coordinator's merged sweep must be identical point for point to a
+# single-node run of the same scenario, no matter what the fleet suffered.
+#
+#   kill           two workers + coordinator; kill -9 the busy worker
+#                  mid-sweep; assert reassignment, fleet metrics, and
+#                  quorum-loss 503 (the original smoke).
+#   chaos-stream   workers run under -chaos rules that cut a shard stream
+#                  mid-frame and corrupt an SSE frame; assert the SSE
+#                  client recovers in-stream (no shard retries burned) and
+#                  results stay identical.
+#   chaos-hedge    a worker turns slow (injected per-frame latency); the
+#                  straggling shards are hedged to the healthy worker;
+#                  assert hedge metrics moved and results stay identical.
+#   chaos-breaker  a worker refuses every shard connection; its circuit
+#                  breaker opens (visible in /metrics and /healthz),
+#                  shards reroute, and after the cooldown a health probe
+#                  walks the breaker half-open -> closed.
+#
+# Run by the CI fleet-e2e (LEGS=kill) and chaos-e2e (the three chaos legs)
+# jobs; usable locally: ./scripts/fleet_e2e.sh [LEGS="kill chaos-hedge"]
 set -euo pipefail
 
+LEGS="${LEGS:-kill chaos-stream chaos-hedge chaos-breaker}"
 REF="${REF:-127.0.0.1:18090}"
-W1="${W1:-127.0.0.1:18091}"
-W2="${W2:-127.0.0.1:18092}"
-CO="${CO:-127.0.0.1:18093}"
-BIN="$(mktemp -d)/delta-server"
 
+TMP=$(mktemp -d)
+BIN="$TMP/delta-server"
 go build -o "$BIN" ./cmd/delta-server
+
+PIDS=()
+declare -A ADDR_PID
+trap 'kill -9 "${PIDS[@]}" 2>/dev/null || true' EXIT
+
+start() { # addr [extra flags...] -> starts a server, logs to $TMP/<addr>.log
+  local addr=$1; shift
+  "$BIN" -addr "$addr" "$@" >>"$TMP/$addr.log" 2>&1 &
+  ADDR_PID[$addr]=$!
+  PIDS+=($!)
+}
 
 wait_up() {
   for _ in $(seq 1 50); do
@@ -26,45 +49,17 @@ wait_up() {
   curl -fsS "http://$1/healthz" >/dev/null
 }
 
-"$BIN" -addr "$REF" &
-REF_PID=$!
-"$BIN" -addr "$W1" &
-W1_PID=$!
-"$BIN" -addr "$W2" &
-W2_PID=$!
+peers_file() { # worker addrs... -> echoes a -peers @file
+  local f
+  f=$(mktemp "$TMP/peers.XXXX")
+  printf '%s\n' "$@" > "$f"
+  echo "$f"
+}
 
-# The coordinator takes its fleet from a peers file (one worker per line,
-# comments allowed) — the @file spelling of -peers.
-PEERS_FILE=$(mktemp)
-cat > "$PEERS_FILE" <<EOF
-# fleet workers
-$W1
-$W2
-EOF
-"$BIN" -addr "$CO" -coordinator -peers "@$PEERS_FILE" &
-CO_PID=$!
-trap 'kill -9 "$REF_PID" "$W1_PID" "$W2_PID" "$CO_PID" 2>/dev/null || true' EXIT
-
-wait_up "$REF"; wait_up "$W1"; wait_up "$W2"; wait_up "$CO"
-
-# With both workers reachable the coordinator reports fleet quorum.
-curl -fsS "http://$CO/healthz" | python3 -c '
-import json, sys
-j = json.load(sys.stdin)
-assert j["fleet"]["quorum"] is True, j["fleet"]
-assert len(j["fleet"]["peers"]) == 2, j["fleet"]
-print("fleet-e2e: healthz quorum OK")
-'
-
-# A six-point simulation sweep, slow enough that a worker dies mid-stream:
-# several L2 configurations over a mid-size layer.
-SCENARIO='{"scenario": {
-  "name": "fleet-e2e",
-  "workloads": [{"name": "mid", "layers": [{"b": 8, "ci": 128, "hi": 56, "co": 128, "hf": 3, "pad": 1}]}],
-  "devices": [{"name": "TITAN Xp"}],
-  "sim_configs": [{"max_waves": 24}, {"l2_ways": 8, "max_waves": 24}, {"l1_ways": 8, "max_waves": 24},
-                  {"max_waves": 32}, {"l2_ways": 8, "max_waves": 32}, {"row_major_scheduling": true, "max_waves": 32}]
-}}'
+submit() { # host, scenario -> job id
+  curl -fsS "http://$1/v2/jobs" -d "$2" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])'
+}
 
 poll_done() { # host, job id -> waits out of running, echoes final status
   local status=running
@@ -76,78 +71,140 @@ poll_done() { # host, job id -> waits out of running, echoes final status
   echo "$status"
 }
 
-# Reference: the sweep uninterrupted on a single node.
-REF_ID=$(curl -fsS "http://$REF/v2/jobs" -d "$SCENARIO" \
-  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
-STATUS=$(poll_done "$REF" "$REF_ID")
-if [ "$STATUS" != done ]; then
-  echo "fleet-e2e: reference job ended as '$STATUS'" >&2
-  exit 1
-fi
-curl -fsS "http://$REF/v2/jobs/$REF_ID" > /tmp/fleet_reference.json
-echo "fleet-e2e: single-node reference done"
+run_job() { # host, scenario, outfile; fails unless the job ends done
+  local id status
+  id=$(submit "$1" "$2")
+  status=$(poll_done "$1" "$id")
+  if [ "$status" != done ]; then
+    echo "fleet-e2e: job $id on $1 ended as '$status'" >&2
+    curl -fsS "http://$1/v2/jobs/$id" >&2 || true
+    exit 1
+  fi
+  curl -fsS "http://$1/v2/jobs/$id" > "$3"
+}
 
-# The same sweep through the coordinator; kill -9 a worker once results are
-# flowing but before the sweep can be finished. The scenario has a single
-# workload x device, so memo-key affinity routes every shard to the same
-# peer — find that peer in the coordinator's shard metrics and kill it, so
-# the kill always lands on the worker holding the remaining shards.
-FLEET_ID=$(curl -fsS "http://$CO/v2/jobs" -d "$SCENARIO" \
-  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
-echo "fleet-e2e: submitted fleet job $FLEET_ID"
-DONE=0 STATUS=running
-for _ in $(seq 1 400); do
-  read -r DONE STATUS < <(curl -fsS "http://$CO/v2/jobs/$FLEET_ID" \
-    | python3 -c 'import json,sys; j=json.load(sys.stdin); print(j["done"], j["status"])')
-  [ "$DONE" -ge 1 ] && break
-  [ "$STATUS" != running ] && break
-  sleep 0.05
-done
-BUSY=$(curl -fsS "http://$CO/metrics" | python3 -c '
+identical() { # merged.json, reference.json, total
+  python3 - "$1" "$2" "$3" <<'EOF'
+import json, sys
+merged = json.load(open(sys.argv[1]))
+reference = json.load(open(sys.argv[2]))
+total = int(sys.argv[3])
+assert merged["done"] == merged["total"] == total, (merged["done"], merged["total"])
+for i, r in enumerate(merged["results"]):
+    assert r["index"] == i, "merged results out of order"
+assert merged["results"] == reference["results"], "merged results diverge from single-node run"
+print("fleet-e2e: merged results identical to single-node run")
+EOF
+}
+
+metric() { # host, exact metric name (no labels) -> value (0 if absent)
+  curl -fsS "http://$1/metrics" | awk -v m="$2" '$1 == m {print $2; found=1} END {if (!found) print 0}'
+}
+
+busy_peer() { # coordinator host -> peer label with shard attempts counted
+  curl -fsS "http://$1/metrics" | python3 -c '
 import re, sys
 for l in sys.stdin:
     m = re.match(r"delta_cluster_shards_total\{.*peer=\"([^\"]+)\".*\} (\S+)", l)
     if m and float(m.group(2)) > 0:
         print(m.group(1))
         break
-')
-case "$BUSY" in
-  "$W1") KILL_PID=$W1_PID ;;
-  "$W2") KILL_PID=$W2_PID ;;
-  *) echo "fleet-e2e: cannot identify busy worker from metrics (got '$BUSY')" >&2; exit 1 ;;
-esac
-kill -9 "$KILL_PID"
-wait "$KILL_PID" 2>/dev/null || true
-if [ "$STATUS" != running ] || [ "$DONE" -lt 1 ] || [ "$DONE" -ge 6 ]; then
-  echo "fleet-e2e: fleet job was done=$DONE status=$STATUS at kill time; not a mid-sweep kill" >&2
-  exit 1
-fi
-echo "fleet-e2e: killed -9 busy worker $BUSY with $DONE/6 results merged"
+'
+}
 
-STATUS=$(poll_done "$CO" "$FLEET_ID")
-if [ "$STATUS" != done ]; then
-  echo "fleet-e2e: fleet job ended as '$STATUS'" >&2
-  curl -fsS "http://$CO/v2/jobs/$FLEET_ID" >&2 || true
-  exit 1
-fi
-curl -fsS "http://$CO/v2/jobs/$FLEET_ID" > /tmp/fleet_merged.json
+# A six-point simulation sweep, slow enough that a worker dies mid-stream:
+# several L2 configurations over a mid-size layer.
+SIM_SCENARIO='{"scenario": {
+  "name": "fleet-e2e",
+  "workloads": [{"name": "mid", "layers": [{"b": 8, "ci": 128, "hi": 56, "co": 128, "hf": 3, "pad": 1}]}],
+  "devices": [{"name": "TITAN Xp"}],
+  "sim_configs": [{"max_waves": 24}, {"l2_ways": 8, "max_waves": 24}, {"l1_ways": 8, "max_waves": 24},
+                  {"max_waves": 32}, {"l2_ways": 8, "max_waves": 32}, {"row_major_scheduling": true, "max_waves": 32}]
+}}'
 
-# The merged sweep must equal the single-node run point for point: dense
-# indices, no duplicated or missing points, identical payloads.
-python3 - <<'EOF'
-import json
-merged = json.load(open("/tmp/fleet_merged.json"))
-reference = json.load(open("/tmp/fleet_reference.json"))
-assert merged["done"] == merged["total"] == 6, (merged["done"], merged["total"])
-for i, r in enumerate(merged["results"]):
-    assert r["index"] == i, "merged results out of order"
-assert merged["results"] == reference["results"], "merged results diverge from single-node run"
-print("fleet-e2e: merged results identical to single-node run")
-EOF
+# A two-point network-model sweep: fast points, so chaos legs measure the
+# injected faults, not the evaluation.
+FAST_SCENARIO='{"scenario": {
+  "name": "chaos-e2e",
+  "workloads": [{"network": "alexnet"}],
+  "devices": [{"name": "TITAN Xp"}],
+  "batches": [1, 16],
+  "models": ["delta"]
+}}'
 
-# The fleet metrics must show the reassignment: retries moved, every point
-# merged, nothing left in flight.
-curl -fsS "http://$CO/metrics" | python3 -c '
+start "$REF"
+wait_up "$REF"
+
+sim_reference() {
+  [ -f "$TMP/ref_sim.json" ] && return 0
+  run_job "$REF" "$SIM_SCENARIO" "$TMP/ref_sim.json"
+  echo "fleet-e2e: single-node sim reference done"
+}
+
+fast_reference() {
+  [ -f "$TMP/ref_fast.json" ] && return 0
+  run_job "$REF" "$FAST_SCENARIO" "$TMP/ref_fast.json"
+  echo "fleet-e2e: single-node fast reference done"
+}
+
+# ---------------------------------------------------------------- kill leg
+leg_kill() {
+  local W1=127.0.0.1:18091 W2=127.0.0.1:18092 CO=127.0.0.1:18093
+  start "$W1"; start "$W2"
+  start "$CO" -coordinator -peers "@$(peers_file "$W1" "$W2")"
+  wait_up "$W1"; wait_up "$W2"; wait_up "$CO"
+
+  # With both workers reachable the coordinator reports fleet quorum.
+  curl -fsS "http://$CO/healthz" | python3 -c '
+import json, sys
+j = json.load(sys.stdin)
+assert j["fleet"]["quorum"] is True, j["fleet"]
+assert len(j["fleet"]["peers"]) == 2, j["fleet"]
+print("fleet-e2e: healthz quorum OK")
+'
+
+  sim_reference
+
+  # The same sweep through the coordinator; kill -9 a worker once results
+  # are flowing but before the sweep can be finished. The scenario has a
+  # single workload x device, so memo-key affinity routes every shard to
+  # the same peer — find that peer in the shard metrics and kill it, so the
+  # kill always lands on the worker holding the remaining shards.
+  local FLEET_ID DONE=0 STATUS=running BUSY KILL_PID
+  FLEET_ID=$(submit "$CO" "$SIM_SCENARIO")
+  echo "fleet-e2e: submitted fleet job $FLEET_ID"
+  for _ in $(seq 1 400); do
+    read -r DONE STATUS < <(curl -fsS "http://$CO/v2/jobs/$FLEET_ID" \
+      | python3 -c 'import json,sys; j=json.load(sys.stdin); print(j["done"], j["status"])')
+    [ "$DONE" -ge 1 ] && break
+    [ "$STATUS" != running ] && break
+    sleep 0.05
+  done
+  BUSY=$(busy_peer "$CO")
+  case "$BUSY" in
+    "$W1"|"$W2") KILL_PID=${ADDR_PID[$BUSY]} ;;
+    *) echo "fleet-e2e: cannot identify busy worker from metrics (got '$BUSY')" >&2; exit 1 ;;
+  esac
+  kill -9 "$KILL_PID"
+  wait "$KILL_PID" 2>/dev/null || true
+  if [ "$STATUS" != running ] || [ "$DONE" -lt 1 ] || [ "$DONE" -ge 6 ]; then
+    echo "fleet-e2e: fleet job was done=$DONE status=$STATUS at kill time; not a mid-sweep kill" >&2
+    exit 1
+  fi
+  echo "fleet-e2e: killed -9 busy worker $BUSY with $DONE/6 results merged"
+
+  STATUS=$(poll_done "$CO" "$FLEET_ID")
+  if [ "$STATUS" != done ]; then
+    echo "fleet-e2e: fleet job ended as '$STATUS'" >&2
+    curl -fsS "http://$CO/v2/jobs/$FLEET_ID" >&2 || true
+    exit 1
+  fi
+  curl -fsS "http://$CO/v2/jobs/$FLEET_ID" > "$TMP/kill_merged.json"
+  identical "$TMP/kill_merged.json" "$TMP/ref_sim.json" 6
+
+  # The fleet metrics must show the reassignment: retries moved, every
+  # point merged, nothing left in flight.
+  curl -fsS "http://$CO/metrics" | python3 -c '
 import sys
 metrics = {}
 for l in sys.stdin:
@@ -166,22 +223,203 @@ assert total("delta_cluster_shards_total") > 0, "no shard attempts counted"
 print("fleet-e2e: fleet metrics OK")
 '
 
-# One of two workers is gone: the fleet has lost quorum (majority), so the
-# coordinator must degrade readiness.
-CODE=$(curl -s -o /tmp/fleet_health.json -w '%{http_code}' "http://$CO/healthz")
-if [ "$CODE" != 503 ]; then
-  echo "fleet-e2e: post-kill /healthz answered $CODE, want 503" >&2
-  cat /tmp/fleet_health.json >&2
-  exit 1
-fi
-python3 - <<'EOF'
-import json
-j = json.load(open("/tmp/fleet_health.json"))
+  # One of two workers is gone: the fleet has lost quorum (majority), so
+  # the coordinator must degrade readiness.
+  local CODE
+  CODE=$(curl -s -o "$TMP/kill_health.json" -w '%{http_code}' "http://$CO/healthz")
+  if [ "$CODE" != 503 ]; then
+    echo "fleet-e2e: post-kill /healthz answered $CODE, want 503" >&2
+    cat "$TMP/kill_health.json" >&2
+    exit 1
+  fi
+  python3 - "$TMP/kill_health.json" <<'EOF'
+import json, sys
+j = json.load(open(sys.argv[1]))
 assert j["status"] == "degraded", j["status"]
 assert j["fleet"]["quorum"] is False, j["fleet"]
 up = sum(1 for p in j["fleet"]["peers"] if p["ok"])
 assert up == 1, j["fleet"]["peers"]
 print("fleet-e2e: degraded healthz OK")
 EOF
+  echo "fleet-e2e: kill leg PASS"
+}
 
-echo "fleet-e2e: PASS"
+# -------------------------------------------------------- chaos-stream leg
+# Both workers arm the same deterministic rules: the first shard stream is
+# cut after one frame, and the first reconnect has a frame corrupted. The
+# SSE client must recover both in-stream — reconnect with Last-Event-ID at
+# the last good frame — without burning a single shard reassignment.
+leg_chaos_stream() {
+  local W1=127.0.0.1:18094 W2=127.0.0.1:18095 CO=127.0.0.1:18096
+  local RULES='[{"fault":"cut","path":"/v2/shards","after_frames":1,"count":1},
+                {"fault":"corrupt","path":"/v2/shards","after_requests":1,"after_frames":1,"count":1}]'
+  start "$W1" -chaos "$RULES"
+  start "$W2" -chaos "$RULES"
+  start "$CO" -coordinator -peers "@$(peers_file "$W1" "$W2")" -shards-per-peer 1
+  wait_up "$W1"; wait_up "$W2"; wait_up "$CO"
+
+  sim_reference
+  run_job "$CO" "$SIM_SCENARIO" "$TMP/stream_merged.json"
+  identical "$TMP/stream_merged.json" "$TMP/ref_sim.json" 6
+
+  # The injections actually fired (worker logs carry one line each)...
+  if ! grep -qh "chaos: inject .*cut@frame" "$TMP/$W1.log" "$TMP/$W2.log"; then
+    echo "fleet-e2e: no cut injection logged by either worker" >&2; exit 1
+  fi
+  if ! grep -qh "chaos: inject .*corrupt@frame" "$TMP/$W1.log" "$TMP/$W2.log"; then
+    echo "fleet-e2e: no corrupt injection logged by either worker" >&2; exit 1
+  fi
+  # ...and both were absorbed inside the SSE stream: zero shard retries.
+  if [ "$(metric "$CO" delta_cluster_shard_retries_total)" != 0 ]; then
+    echo "fleet-e2e: stream faults burned shard retries; want in-stream recovery" >&2; exit 1
+  fi
+  if [ "$(metric "$CO" delta_cluster_shards_in_flight)" != 0 ]; then
+    echo "fleet-e2e: shards still in flight" >&2; exit 1
+  fi
+  echo "fleet-e2e: chaos-stream leg PASS"
+}
+
+# --------------------------------------------------------- chaos-hedge leg
+# After a clean warm-up sweep seeds the fleet's pace EWMA, the busy worker
+# turns slow: every SSE frame is delayed 1.5s (rules arm after each
+# worker's first two shard requests). The hedge monitor must re-dispatch
+# the straggling shards to the healthy worker and win.
+leg_chaos_hedge() {
+  local W1=127.0.0.1:18097 W2=127.0.0.1:18098 CO=127.0.0.1:18099
+  local RULES='[{"fault":"latency","where":"frame","latency_ms":1500,"path":"/v2/shards","after_requests":2}]'
+  start "$W1" -chaos "$RULES"
+  start "$W2" -chaos "$RULES"
+  start "$CO" -coordinator -peers "@$(peers_file "$W1" "$W2")" -shards-per-peer 1 \
+    -hedge-interval 200ms -hedge-floor 500ms -shard-deadline-floor 1s
+  wait_up "$W1"; wait_up "$W2"; wait_up "$CO"
+
+  fast_reference
+  run_job "$CO" "$FAST_SCENARIO" "$TMP/hedge_warmup.json"
+  identical "$TMP/hedge_warmup.json" "$TMP/ref_fast.json" 2
+  echo "fleet-e2e: hedge warm-up sweep done (pace EWMA seeded)"
+
+  run_job "$CO" "$FAST_SCENARIO" "$TMP/hedge_merged.json"
+  identical "$TMP/hedge_merged.json" "$TMP/ref_fast.json" 2
+
+  local HEDGED WINS DEADLINE
+  HEDGED=$(metric "$CO" delta_cluster_hedged_shards_total)
+  WINS=$(metric "$CO" delta_cluster_hedge_wins_total)
+  DEADLINE=$(metric "$CO" delta_cluster_adaptive_deadline_seconds)
+  if [ "${HEDGED%.*}" -lt 1 ]; then
+    echo "fleet-e2e: no hedge fired against the slow worker (hedged=$HEDGED)" >&2; exit 1
+  fi
+  if [ "${WINS%.*}" -lt 1 ]; then
+    echo "fleet-e2e: hedges fired but none won (wins=$WINS)" >&2; exit 1
+  fi
+  if [ "${DEADLINE%.*}" -lt 1 ]; then
+    echo "fleet-e2e: adaptive deadline gauge never moved ($DEADLINE)" >&2; exit 1
+  fi
+  echo "fleet-e2e: chaos-hedge leg PASS (hedged=$HEDGED wins=$WINS deadline=${DEADLINE}s)"
+}
+
+# ------------------------------------------------------- chaos-breaker leg
+# A clean warm-up finds the busy (affinity) worker; it restarts refusing
+# every /v2/shards connection. The next sweep must still complete (shards
+# reroute), the busy worker's breaker must open — visible in /metrics and
+# /healthz — and once the cooldown passes a health probe must walk it
+# half-open -> closed.
+leg_chaos_breaker() {
+  local W1=127.0.0.1:18100 W2=127.0.0.1:18101 CO=127.0.0.1:18102
+  start "$W1"; start "$W2"
+  start "$CO" -coordinator -peers "@$(peers_file "$W1" "$W2")" -shards-per-peer 1 \
+    -breaker-threshold 2 -breaker-cooldown 8s
+  wait_up "$W1"; wait_up "$W2"; wait_up "$CO"
+
+  fast_reference
+  run_job "$CO" "$FAST_SCENARIO" "$TMP/breaker_warmup.json"
+  identical "$TMP/breaker_warmup.json" "$TMP/ref_fast.json" 2
+
+  local BUSY
+  BUSY=$(busy_peer "$CO")
+  case "$BUSY" in
+    "$W1"|"$W2") ;;
+    *) echo "fleet-e2e: cannot identify busy worker from metrics (got '$BUSY')" >&2; exit 1 ;;
+  esac
+  kill -9 "${ADDR_PID[$BUSY]}"
+  wait "${ADDR_PID[$BUSY]}" 2>/dev/null || true
+  start "$BUSY" -chaos '[{"fault":"refuse","path":"/v2/shards"}]'
+  wait_up "$BUSY"
+  echo "fleet-e2e: restarted busy worker $BUSY refusing all shard connections"
+
+  run_job "$CO" "$FAST_SCENARIO" "$TMP/breaker_merged.json"
+  identical "$TMP/breaker_merged.json" "$TMP/ref_fast.json" 2
+
+  # Exactly the threshold's worth of failures, then the breaker fenced the
+  # peer: two reassignments, breaker gauge open (2).
+  if [ "$(metric "$CO" delta_cluster_shard_retries_total)" != 2 ]; then
+    echo "fleet-e2e: retries != 2 (got $(metric "$CO" delta_cluster_shard_retries_total))" >&2; exit 1
+  fi
+  curl -fsS "http://$CO/metrics" > "$TMP/breaker_metrics.txt"
+  python3 - "$BUSY" "$TMP/breaker_metrics.txt" <<'EOF'
+import re, sys
+busy = sys.argv[1]
+for l in open(sys.argv[2]):
+    m = re.match(r"delta_cluster_breaker_state\{peer=\"([^\"]+)\"\} (\S+)", l)
+    if m and m.group(1) == busy:
+        assert float(m.group(2)) == 2, f"breaker gauge {m.group(2)}, want 2 (open)"
+        print("fleet-e2e: breaker gauge open OK")
+        break
+else:
+    raise SystemExit(f"no breaker gauge for {busy}")
+EOF
+
+  # While open, the coordinator reports the peer down with its breaker
+  # state, and the fleet has lost quorum.
+  local CODE
+  CODE=$(curl -s -o "$TMP/breaker_health.json" -w '%{http_code}' "http://$CO/healthz")
+  if [ "$CODE" != 503 ]; then
+    echo "fleet-e2e: open-breaker /healthz answered $CODE, want 503" >&2
+    cat "$TMP/breaker_health.json" >&2
+    exit 1
+  fi
+  python3 - "$TMP/breaker_health.json" "$BUSY" <<'EOF'
+import json, sys
+j = json.load(open(sys.argv[1]))
+busy = sys.argv[2]
+assert j["fleet"]["quorum"] is False, j["fleet"]
+peer = next(p for p in j["fleet"]["peers"] if p["peer"] == busy)
+assert peer["ok"] is False, peer
+assert peer.get("breaker") == "open", peer
+print("fleet-e2e: open breaker visible in healthz OK")
+EOF
+
+  # After the cooldown a half-open probe (the worker's /healthz is not
+  # refused — only its shard endpoint is) recovers the breaker.
+  local RECOVERED=0
+  for _ in $(seq 1 60); do
+    CODE=$(curl -s -o "$TMP/breaker_recovered.json" -w '%{http_code}' "http://$CO/healthz")
+    if [ "$CODE" = 200 ] && python3 - "$TMP/breaker_recovered.json" "$BUSY" <<'EOF'
+import json, sys
+j = json.load(open(sys.argv[1]))
+busy = sys.argv[2]
+peer = next(p for p in j["fleet"]["peers"] if p["peer"] == busy)
+raise SystemExit(0 if j["fleet"]["quorum"] and peer["ok"] and peer.get("breaker", "closed") == "closed" else 1)
+EOF
+    then RECOVERED=1; break; fi
+    sleep 0.5
+  done
+  if [ "$RECOVERED" != 1 ]; then
+    echo "fleet-e2e: breaker never recovered after cooldown" >&2
+    cat "$TMP/breaker_recovered.json" >&2
+    exit 1
+  fi
+  echo "fleet-e2e: chaos-breaker leg PASS"
+}
+
+for leg in $LEGS; do
+  echo "fleet-e2e: === leg $leg ==="
+  case "$leg" in
+    kill) leg_kill ;;
+    chaos-stream) leg_chaos_stream ;;
+    chaos-hedge) leg_chaos_hedge ;;
+    chaos-breaker) leg_chaos_breaker ;;
+    *) echo "fleet-e2e: unknown leg '$leg'" >&2; exit 2 ;;
+  esac
+done
+
+echo "fleet-e2e: PASS ($LEGS)"
