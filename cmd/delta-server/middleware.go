@@ -59,6 +59,46 @@ func routeLabel(path string) string {
 	return "other"
 }
 
+// Metric names are package-level constants by house rule (enforced by
+// delta-vet's metrichygiene analyzer): one block to grep for the whole
+// delta_ namespace, collision-proof at review time, and every name pinned
+// to the delta_[a-z_]+ contract the dashboards and e2e scripts rely on.
+const (
+	metricHTTPRequests       = "delta_http_requests_total"
+	metricHTTPDuration       = "delta_http_request_duration_seconds"
+	metricHTTPInFlight       = "delta_http_in_flight_requests"
+	metricHTTPPanics         = "delta_http_panics_total"
+	metricHTTPShed           = "delta_http_shed_total"
+	metricHTTPAuthFailures   = "delta_http_auth_failures_total"
+	metricPipelineCacheHits  = "delta_pipeline_cache_hits_total"
+	metricPipelineCacheMiss  = "delta_pipeline_cache_misses_total"
+	metricPipelineEntries    = "delta_pipeline_cache_entries"
+	metricScenarioPoints     = "delta_scenario_points_total"
+	metricStreamCacheHits    = "delta_stream_cache_hits_total"
+	metricStreamCacheMisses  = "delta_stream_cache_misses_total"
+	metricStreamCacheEntries = "delta_stream_cache_entries"
+	metricReplayPartitions   = "delta_replay_partitions"
+	metricJobsStored         = "delta_jobs_stored"
+	metricJobsRunning        = "delta_jobs_running"
+	metricJobsCapacity       = "delta_jobs_capacity"
+	metricJobsEvicted        = "delta_jobs_evicted_total"
+	metricRatelimitClients   = "delta_ratelimit_clients"
+	metricInflightInUse      = "delta_inflight_in_use"
+	metricInflightCapacity   = "delta_inflight_capacity"
+	metricOutboxDepth        = "delta_outbox_depth"
+	metricOutboxCapacity     = "delta_outbox_capacity"
+	metricOutboxPublished    = "delta_outbox_published_total"
+	metricOutboxFlushed      = "delta_outbox_flushed_total"
+	metricOutboxRetries      = "delta_outbox_retries_total"
+	metricOutboxDeadLetters  = "delta_outbox_dead_letters_total"
+	metricOutboxOverflow     = "delta_outbox_overflow_total"
+	metricWALRecords         = "delta_wal_records_total"
+	metricWALCompactions     = "delta_wal_compactions_total"
+	metricWALReplayedJobs    = "delta_wal_replayed_jobs"
+	metricWALTornBytes       = "delta_wal_torn_bytes"
+	metricClusterPeers       = "delta_cluster_peers"
+)
+
 // serverMetrics is the delta-server metric set, registered once per server
 // on a private obs.Registry (scraped at GET /metrics).
 type serverMetrics struct {
@@ -77,104 +117,104 @@ func newServerMetrics(p *delta.Pipeline, jobs *jobStore, lim *ratelimit.Limiter,
 	reg := obs.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
-		requests: reg.CounterVec("delta_http_requests_total",
+		requests: reg.CounterVec(metricHTTPRequests,
 			"HTTP requests by route, method, and status code.",
 			"route", "method", "code"),
-		latency: reg.HistogramVec("delta_http_request_duration_seconds",
+		latency: reg.HistogramVec(metricHTTPDuration,
 			"HTTP request latency by route.", obs.DefBuckets, "route"),
-		inFlight: reg.Gauge("delta_http_in_flight_requests",
+		inFlight: reg.Gauge(metricHTTPInFlight,
 			"HTTP requests currently being served."),
-		panics: reg.Counter("delta_http_panics_total",
+		panics: reg.Counter(metricHTTPPanics,
 			"Handler panics recovered into JSON 500 responses."),
-		shed: reg.CounterVec("delta_http_shed_total",
+		shed: reg.CounterVec(metricHTTPShed,
 			"Requests shed by load limiting, by reason (rate, inflight).",
 			"reason"),
-		authFail: reg.Counter("delta_http_auth_failures_total",
+		authFail: reg.Counter(metricHTTPAuthFailures,
 			"Requests rejected with 401 by bearer-token auth."),
 	}
-	reg.CounterFunc("delta_pipeline_cache_hits_total",
+	reg.CounterFunc(metricPipelineCacheHits,
 		"Pipeline memo cache hits.",
 		func() float64 { return float64(p.Stats().Hits) })
-	reg.CounterFunc("delta_pipeline_cache_misses_total",
+	reg.CounterFunc(metricPipelineCacheMiss,
 		"Pipeline memo cache misses.",
 		func() float64 { return float64(p.Stats().Misses) })
-	reg.GaugeFunc("delta_pipeline_cache_entries",
+	reg.GaugeFunc(metricPipelineEntries,
 		"Pipeline memo cache occupancy (entries).",
 		func() float64 { return float64(p.Stats().Entries) })
-	reg.CounterFunc("delta_scenario_points_total",
+	reg.CounterFunc(metricScenarioPoints,
 		"Scenario points evaluated by the pipeline (memo hits included).",
 		func() float64 { return float64(p.Stats().ScenarioPoints) })
-	reg.CounterFunc("delta_stream_cache_hits_total",
+	reg.CounterFunc(metricStreamCacheHits,
 		"Shared stream-cache tier hits (coalesced tile streams reused).",
 		func() float64 { return float64(p.Stats().StreamHits) })
-	reg.CounterFunc("delta_stream_cache_misses_total",
+	reg.CounterFunc(metricStreamCacheMisses,
 		"Shared stream-cache tier misses (streams generated and published).",
 		func() float64 { return float64(p.Stats().StreamMisses) })
-	reg.GaugeFunc("delta_stream_cache_entries",
+	reg.GaugeFunc(metricStreamCacheEntries,
 		"Shared stream-cache tier occupancy (published streams).",
 		func() float64 { return float64(p.Stats().StreamEntries) })
-	reg.GaugeFunc("delta_replay_partitions",
+	reg.GaugeFunc(metricReplayPartitions,
 		"L2 replay partitions the pipeline applies to simulation requests.",
 		func() float64 { return float64(p.Stats().ReplayPartitions) })
-	reg.GaugeFunc("delta_jobs_stored",
+	reg.GaugeFunc(metricJobsStored,
 		"Jobs held in the /v2 job store.",
 		func() float64 { stored, _ := jobs.occupancy(); return float64(stored) })
-	reg.GaugeFunc("delta_jobs_running",
+	reg.GaugeFunc(metricJobsRunning,
 		"Jobs in the /v2 store still running.",
 		func() float64 { _, running := jobs.occupancy(); return float64(running) })
-	reg.GaugeFunc("delta_jobs_capacity",
+	reg.GaugeFunc(metricJobsCapacity,
 		"Configured /v2 job store capacity.",
 		func() float64 { return float64(jobs.cfg.MaxJobs) })
-	reg.CounterFunc("delta_jobs_evicted_total",
+	reg.CounterFunc(metricJobsEvicted,
 		"Finished jobs evicted from the /v2 store (TTL or capacity).",
 		func() float64 { return float64(jobs.evictions()) })
 	if lim != nil {
-		reg.GaugeFunc("delta_ratelimit_clients",
+		reg.GaugeFunc(metricRatelimitClients,
 			"Client buckets tracked by the rate limiter.",
 			func() float64 { return float64(lim.Clients()) })
 	}
 	if gate != nil {
-		reg.GaugeFunc("delta_inflight_in_use",
+		reg.GaugeFunc(metricInflightInUse,
 			"Global in-flight gate slots in use.",
 			func() float64 { return float64(gate.InFlight()) })
-		reg.GaugeFunc("delta_inflight_capacity",
+		reg.GaugeFunc(metricInflightCapacity,
 			"Global in-flight gate capacity.",
 			func() float64 { return float64(gate.Cap()) })
 	}
 	if d := jobs.durable; d != nil {
 		// Durable-mode metrics (-data-dir): the outbox set reads zero when
 		// no sink is configured, keeping the scrape shape stable.
-		reg.GaugeFunc("delta_outbox_depth",
+		reg.GaugeFunc(metricOutboxDepth,
 			"Result-sink outbox occupancy (events queued for flush).",
 			func() float64 { return float64(d.outboxStats().Depth) })
-		reg.GaugeFunc("delta_outbox_capacity",
+		reg.GaugeFunc(metricOutboxCapacity,
 			"Result-sink outbox queue capacity.",
 			func() float64 { return float64(d.outboxStats().Capacity) })
-		reg.CounterFunc("delta_outbox_published_total",
+		reg.CounterFunc(metricOutboxPublished,
 			"Events accepted into the result-sink outbox.",
 			func() float64 { return float64(d.outboxStats().Published) })
-		reg.CounterFunc("delta_outbox_flushed_total",
+		reg.CounterFunc(metricOutboxFlushed,
 			"Events successfully flushed to the result sink.",
 			func() float64 { return float64(d.outboxStats().Flushed) })
-		reg.CounterFunc("delta_outbox_retries_total",
+		reg.CounterFunc(metricOutboxRetries,
 			"Result-sink flush attempts that failed and were retried.",
 			func() float64 { return float64(d.outboxStats().Retries) })
-		reg.CounterFunc("delta_outbox_dead_letters_total",
+		reg.CounterFunc(metricOutboxDeadLetters,
 			"Events spilled to the dead-letter file after exhausting retries.",
 			func() float64 { return float64(d.outboxStats().DeadLetters) })
-		reg.CounterFunc("delta_outbox_overflow_total",
+		reg.CounterFunc(metricOutboxOverflow,
 			"Events dead-lettered immediately because the outbox was full.",
 			func() float64 { return float64(d.outboxStats().Overflow) })
-		reg.CounterFunc("delta_wal_records_total",
+		reg.CounterFunc(metricWALRecords,
 			"Records appended to the durable job WAL.",
 			func() float64 { return float64(d.storeStats().Records) })
-		reg.CounterFunc("delta_wal_compactions_total",
+		reg.CounterFunc(metricWALCompactions,
 			"Durable-store snapshot compactions.",
 			func() float64 { return float64(d.storeStats().Compactions) })
-		reg.GaugeFunc("delta_wal_replayed_jobs",
+		reg.GaugeFunc(metricWALReplayedJobs,
 			"Jobs recovered from the durable store at startup.",
 			func() float64 { return float64(d.storeStats().ReplayedJobs) })
-		reg.GaugeFunc("delta_wal_torn_bytes",
+		reg.GaugeFunc(metricWALTornBytes,
 			"Bytes dropped from the WAL's torn/corrupt tail at startup.",
 			func() float64 { return float64(d.storeStats().TornBytes) })
 	}
@@ -249,6 +289,19 @@ func withAccessLog(logger *log.Logger) middleware {
 	}
 }
 
+// methodLabel collapses the request method onto the known set so the
+// method label stays bounded: Go's server accepts any token as a method,
+// and a client sending junk methods must not mint unbounded label values.
+func methodLabel(method string) string {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPost, http.MethodPut,
+		http.MethodPatch, http.MethodDelete, http.MethodConnect,
+		http.MethodOptions, http.MethodTrace:
+		return method
+	}
+	return "other"
+}
+
 // withMetrics records per-route request counts, latencies, and the
 // in-flight gauge. It sits outside recovery and shedding so 500s and 429s
 // are counted like every other response.
@@ -257,6 +310,7 @@ func withMetrics(m *serverMetrics) middleware {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			sw := &statusWriter{ResponseWriter: w}
 			route := routeLabel(r.URL.Path)
+			method := methodLabel(r.Method)
 			m.inFlight.Inc()
 			start := time.Now()
 			defer func() {
@@ -265,7 +319,7 @@ func withMetrics(m *serverMetrics) middleware {
 					sw.status = http.StatusOK
 				}
 				m.latency.With(route).Observe(time.Since(start).Seconds())
-				m.requests.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+				m.requests.With(route, method, strconv.Itoa(sw.status)).Inc()
 			}()
 			next.ServeHTTP(sw, r)
 		})

@@ -176,7 +176,7 @@ func buildServer(p *delta.Pipeline, jobs *jobStore, cfg serverConfig) (http.Hand
 			return nil, nil, err
 		}
 		s.coord = coord
-		s.metrics.reg.GaugeFunc("delta_cluster_peers",
+		s.metrics.reg.GaugeFunc(metricClusterPeers,
 			"Workers in the coordinator's configured fleet.",
 			func() float64 { return float64(len(coord.Peers())) })
 	}

@@ -1,0 +1,149 @@
+// delta-vet runs the repo-specific static-analysis suite (internal/lint)
+// over the module: analyzers that machine-check the determinism, context,
+// concurrency, metrics, and SSE contracts the test suite can only
+// spot-check. CI runs it as a blocking job next to go vet.
+//
+// Usage:
+//
+//	delta-vet [-rules determinism,ctxflow,...] [-json] [-list] [./...|dir ...]
+//
+// With no arguments (or "./...") the whole module is checked. Findings
+// print as `file:line: [rule] message` (or one JSON object per line with
+// -json, for machine consumers like the CI annotation formatter). Exit
+// status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Suppress a single finding with a same- or previous-line comment:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; reasonless ignores are themselves reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"delta/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit one JSON object per finding")
+	list := flag.Bool("list", false, "list rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: delta-vet [-rules r1,r2] [-json] [-list] [./...|dir ...]\nrules: %s\n", lint.RuleNames())
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "delta-vet:", err)
+		return 2
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "delta-vet:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "delta-vet:", err)
+		return 2
+	}
+	if dirs := explicitDirs(flag.Args()); dirs != nil {
+		pkgs = filterByDir(pkgs, dirs)
+		if len(pkgs) == 0 {
+			fmt.Fprintln(os.Stderr, "delta-vet: no packages match", strings.Join(flag.Args(), " "))
+			return 2
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	findings := 0
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			// Type errors degrade analysis to best-effort; `go build`
+			// owns compilation failures, so they warn rather than fail.
+			fmt.Fprintf(os.Stderr, "delta-vet: type error (analysis may be partial): %v\n", e)
+		}
+		for _, d := range lint.Run(p, analyzers) {
+			findings++
+			if *asJSON {
+				_ = enc.Encode(finding{
+					File: relPath(loader.Root, d.Pos.Filename), Line: d.Pos.Line,
+					Col: d.Pos.Column, Rule: d.Rule, Message: d.Message,
+				})
+				continue
+			}
+			fmt.Printf("%s:%d: [%s] %s\n",
+				relPath(loader.Root, d.Pos.Filename), d.Pos.Line, d.Rule, d.Message)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "delta-vet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// finding is the -json wire shape; the CI formatter depends on this exact
+// field order, so keep it stable.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// explicitDirs maps CLI package args to directory filters; nil means the
+// whole module ("./...", ".", or no args).
+func explicitDirs(args []string) []string {
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "." || a == "all" {
+			return nil
+		}
+		dirs = append(dirs, strings.TrimSuffix(strings.TrimSuffix(a, "/..."), "/"))
+	}
+	return dirs
+}
+
+func filterByDir(pkgs []*lint.Package, dirs []string) []*lint.Package {
+	var out []*lint.Package
+	for _, p := range pkgs {
+		for _, d := range dirs {
+			abs, err := filepath.Abs(d)
+			if err != nil {
+				continue
+			}
+			if p.Dir == abs || strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -187,6 +187,7 @@ func EstimateAllContext(ctx context.Context, ls []Conv, d GPU, opt TrafficOption
 //
 // Deprecated: use EstimateAllContext, which honors cancellation.
 func EstimateAll(ls []Conv, d GPU, opt TrafficOptions) ([]PerfResult, error) {
+	//lint:ignore ctxflow deprecated compat shim; callers are pointed at the Context variant
 	return EstimateAllContext(context.Background(), ls, d, opt)
 }
 
@@ -236,6 +237,7 @@ func SimulateAllContext(ctx context.Context, reqs []SimRequest) ([]SimResult, er
 //
 // Deprecated: use SimulateAllContext, which honors cancellation.
 func SimulateAll(reqs []SimRequest) ([]SimResult, error) {
+	//lint:ignore ctxflow deprecated compat shim; callers are pointed at the Context variant
 	return SimulateAllContext(context.Background(), reqs)
 }
 
@@ -257,6 +259,7 @@ func SimulateLayersContext(ctx context.Context, ls []Conv, cfg SimConfig) ([]Sim
 //
 // Deprecated: use SimulateLayersContext, which honors cancellation.
 func SimulateLayers(ls []Conv, cfg SimConfig) ([]SimResult, error) {
+	//lint:ignore ctxflow deprecated compat shim; callers are pointed at the Context variant
 	return SimulateLayersContext(context.Background(), ls, cfg)
 }
 
@@ -342,6 +345,7 @@ func EstimateNetworkTrainingContext(ctx context.Context, n Network, d GPU, opt T
 // Deprecated: use EstimateNetworkTrainingContext, which honors
 // cancellation.
 func EstimateNetworkTraining(n Network, d GPU, opt TrafficOptions) ([]TrainingStep, float64, error) {
+	//lint:ignore ctxflow deprecated compat shim; callers are pointed at the Context variant
 	return EstimateNetworkTrainingContext(context.Background(), n, d, opt)
 }
 
@@ -380,6 +384,7 @@ func ExploreContext(ctx context.Context, n Network, base GPU, axes ExploreAxes, 
 //
 // Deprecated: use ExploreContext, which honors cancellation.
 func Explore(n Network, base GPU, axes ExploreAxes, cm CostModel) ([]ExploreCandidate, error) {
+	//lint:ignore ctxflow deprecated compat shim; callers are pointed at the Context variant
 	return ExploreContext(context.Background(), n, base, axes, cm)
 }
 

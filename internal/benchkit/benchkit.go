@@ -104,6 +104,7 @@ func scenarioStream(b *testing.B, p *pipeline.Evaluator) {
 	sc := ScenarioSweep()
 	points := 0
 	for i := 0; i < b.N; i++ {
+		//lint:ignore ctxflow benchmark harness: *testing.B owns the run lifecycle
 		upds, err := p.RunScenario(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
@@ -127,6 +128,7 @@ func ScenarioStream(b *testing.B) {
 // pure expansion + ordering + streaming overhead.
 func ScenarioStreamCached(b *testing.B) {
 	p := pipeline.New()
+	//lint:ignore ctxflow benchmark harness: *testing.B owns the run lifecycle
 	if _, err := p.RunScenario(context.Background(), ScenarioSweep()); err != nil {
 		b.Fatal(err)
 	}
@@ -144,6 +146,7 @@ func SuiteParallel(b *testing.B) {
 	ls := SuiteLayers()
 	p := pipeline.New(pipeline.WithoutCache(), pipeline.WithoutStreamSharing())
 	for i := 0; i < b.N; i++ {
+		//lint:ignore ctxflow benchmark harness: *testing.B owns the run lifecycle
 		if _, err := p.SimulateLayers(context.Background(), ls, cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -174,6 +177,7 @@ func streamSweep(b *testing.B, share bool) {
 			d := gpu.TitanXp()
 			d.L2SizeMB += float64(pt) // capacity varies, geometry doesn't
 			cfg := engine.Config{Device: d}
+			//lint:ignore ctxflow benchmark harness: *testing.B owns the run lifecycle
 			if _, err := p.SimulateLayers(context.Background(), ls, cfg); err != nil {
 				b.Fatal(err)
 			}

@@ -63,6 +63,7 @@ func FleetSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
+		//lint:ignore ctxflow benchmark harness: *testing.B owns the run lifecycle
 		err := coord.Run(context.Background(), cluster.Sweep{
 			Doc: doc, Scenario: sc, Policy: pipeline.CollectPartial,
 		}, func(cluster.Update) error { n++; return nil })

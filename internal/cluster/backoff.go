@@ -6,7 +6,7 @@
 package cluster
 
 import (
-	"math/rand"
+	"math/rand" //lint:ignore determinism retry jitter only; never touches replayed counters
 	"time"
 )
 

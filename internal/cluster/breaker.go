@@ -62,7 +62,7 @@ func newBreaker(threshold int, cooldown time.Duration, onChange func(BreakerStat
 		threshold: threshold,
 		cooldown:  cooldown,
 		onChange:  onChange,
-		now:       time.Now,
+		now:       time.Now, //lint:ignore determinism clock injection seam; tests substitute a fake clock
 	}
 	if onChange != nil {
 		onChange(BreakerClosed)

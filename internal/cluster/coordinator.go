@@ -24,6 +24,7 @@ import (
 	"hash/fnv"
 	"log"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,34 +36,50 @@ import (
 	"delta/internal/scenario"
 )
 
+// Fleet metric names, package-level constants by house rule (delta-vet's
+// metrichygiene analyzer): one greppable block for the whole
+// delta_cluster_ namespace.
+const (
+	metricShards       = "delta_cluster_shards_total"
+	metricRetries      = "delta_cluster_shard_retries_total"
+	metricInFlight     = "delta_cluster_shards_in_flight"
+	metricMerged       = "delta_cluster_points_merged_total"
+	metricMergeLag     = "delta_cluster_merge_lag"
+	metricPeerUp       = "delta_cluster_peer_up"
+	metricBreakerState = "delta_cluster_breaker_state"
+	metricHedged       = "delta_cluster_hedged_shards_total"
+	metricHedgeWins    = "delta_cluster_hedge_wins_total"
+	metricDeadline     = "delta_cluster_adaptive_deadline_seconds"
+)
+
 // Metrics is the fleet's instrumentation; register with NewMetrics and
 // share one instance across sweeps. A nil *Metrics disables recording.
 type Metrics struct {
-	Shards       *obs.CounterVec // delta_cluster_shards_total{peer,status}
-	Retries      *obs.Counter    // delta_cluster_shard_retries_total
-	InFlight     *obs.Gauge      // delta_cluster_shards_in_flight
-	Merged       *obs.Counter    // delta_cluster_points_merged_total
-	MergeLag     *obs.Gauge      // delta_cluster_merge_lag
-	PeerUp       *obs.GaugeVec   // delta_cluster_peer_up{peer}
-	BreakerState *obs.GaugeVec   // delta_cluster_breaker_state{peer}
-	Hedged       *obs.Counter    // delta_cluster_hedged_shards_total
-	HedgeWins    *obs.Counter    // delta_cluster_hedge_wins_total
-	Deadline     *obs.Gauge      // delta_cluster_adaptive_deadline_seconds
+	Shards       *obs.CounterVec // metricShards{peer,status}
+	Retries      *obs.Counter    // metricRetries
+	InFlight     *obs.Gauge      // metricInFlight
+	Merged       *obs.Counter    // metricMerged
+	MergeLag     *obs.Gauge      // metricMergeLag
+	PeerUp       *obs.GaugeVec   // metricPeerUp{peer}
+	BreakerState *obs.GaugeVec   // metricBreakerState{peer}
+	Hedged       *obs.Counter    // metricHedged
+	HedgeWins    *obs.Counter    // metricHedgeWins
+	Deadline     *obs.Gauge      // metricDeadline
 }
 
 // NewMetrics registers the fleet series on r.
 func NewMetrics(r *obs.Registry) *Metrics {
 	return &Metrics{
-		Shards:       r.CounterVec("delta_cluster_shards_total", "Finished shard attempts by peer and outcome.", "peer", "status"),
-		Retries:      r.Counter("delta_cluster_shard_retries_total", "Shard attempts retried on another peer after a failure."),
-		InFlight:     r.Gauge("delta_cluster_shards_in_flight", "Shard attempts currently streaming from peers."),
-		Merged:       r.Counter("delta_cluster_points_merged_total", "Scenario points merged into coordinator results."),
-		MergeLag:     r.Gauge("delta_cluster_merge_lag", "Points received out of order, buffered awaiting the in-order merge."),
-		PeerUp:       r.GaugeVec("delta_cluster_peer_up", "Last observed peer reachability (1 ready, 0 unreachable or degraded).", "peer"),
-		BreakerState: r.GaugeVec("delta_cluster_breaker_state", "Per-peer circuit breaker state (0 closed, 1 half-open, 2 open).", "peer"),
-		Hedged:       r.Counter("delta_cluster_hedged_shards_total", "Straggling shard attempts speculatively re-dispatched to another peer."),
-		HedgeWins:    r.Counter("delta_cluster_hedge_wins_total", "Hedged re-dispatches that finished before the original attempt."),
-		Deadline:     r.Gauge("delta_cluster_adaptive_deadline_seconds", "Most recent adaptive shard deadline derived from the fleet's pace."),
+		Shards:       r.CounterVec(metricShards, "Finished shard attempts by peer and outcome.", "peer", "status"),
+		Retries:      r.Counter(metricRetries, "Shard attempts retried on another peer after a failure."),
+		InFlight:     r.Gauge(metricInFlight, "Shard attempts currently streaming from peers."),
+		Merged:       r.Counter(metricMerged, "Scenario points merged into coordinator results."),
+		MergeLag:     r.Gauge(metricMergeLag, "Points received out of order, buffered awaiting the in-order merge."),
+		PeerUp:       r.GaugeVec(metricPeerUp, "Last observed peer reachability (1 ready, 0 unreachable or degraded).", "peer"),
+		BreakerState: r.GaugeVec(metricBreakerState, "Per-peer circuit breaker state (0 closed, 1 half-open, 2 open).", "peer"),
+		Hedged:       r.Counter(metricHedged, "Straggling shard attempts speculatively re-dispatched to another peer."),
+		HedgeWins:    r.Counter(metricHedgeWins, "Hedged re-dispatches that finished before the original attempt."),
+		Deadline:     r.Gauge(metricDeadline, "Most recent adaptive shard deadline derived from the fleet's pace."),
 	}
 }
 
@@ -342,13 +359,23 @@ func (st *sweepState) untrack(att *shardAttempt) {
 	st.mu.Unlock()
 }
 
+// attempts snapshots the live set for the hedge monitor. The set is a
+// map, so the snapshot is sorted (shard index, then originals before
+// hedges) to keep the monitor's scan order — and therefore hedge pacing —
+// independent of map iteration order.
 func (st *sweepState) attempts() []*shardAttempt {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	out := make([]*shardAttempt, 0, len(st.live))
 	for att := range st.live {
 		out = append(out, att)
 	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].t.idx != out[j].t.idx {
+			return out[i].t.idx < out[j].t.idx
+		}
+		return !out[i].hedge && out[j].hedge
+	})
 	return out
 }
 
@@ -478,6 +505,7 @@ func (c *Coordinator) runShard(st *sweepState, peer int, d dispatch) {
 	t.dispatches++
 	attemptNo := t.dispatches
 	startGot := t.got
+	//lint:ignore determinism attempt start times pace hedging/backoff only; merged results are ordered by shard index, never by wall clock
 	att := &shardAttempt{t: t, peer: peer, hedge: d.hedge, start: time.Now()}
 	t.inflight = append(t.inflight, att)
 	t.mu.Unlock()
@@ -607,6 +635,7 @@ func (c *Coordinator) streamShard(actx context.Context, sw Sweep, peer int, att 
 			}
 			expected++
 			att.delivered.Add(1)
+			//lint:ignore determinism inter-frame pacing feeds the hedge EWMA, not the merged result stream
 			now := time.Now()
 			c.rates.observe(peer, now.Sub(last).Seconds())
 			last = now

@@ -142,7 +142,7 @@ func (st *sweepState) maybeHedge(att *shardAttempt, med float64) {
 	if att.hedge {
 		return // hedges are not themselves hedged
 	}
-	elapsed := time.Since(att.start)
+	elapsed := time.Since(att.start) //lint:ignore determinism straggler elapsed time paces hedging only, never merged results
 	if elapsed < c.cfg.HedgeFloor {
 		return
 	}

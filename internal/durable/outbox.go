@@ -103,8 +103,9 @@ type Outbox struct {
 }
 
 // NewOutbox starts the drain goroutine over the given sink.
-func NewOutbox(sink Sink, cfg OutboxConfig) *Outbox {
+func NewOutbox(sink Sink, cfg OutboxConfig) *Outbox { //lint:ignore ctxflow the Outbox owns its drain lifecycle; Close is the cancellation edge
 	cfg = cfg.withDefaults()
+	//lint:ignore ctxflow detached on purpose: the drain outlives any one caller; Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	o := &Outbox{
 		sink: sink, cfg: cfg,
@@ -177,6 +178,7 @@ func (o *Outbox) flushBatch(batch []Event) {
 		case <-o.ctx.Done():
 			// Shutting down mid-retry: one final immediate attempt, then
 			// spill rather than wait out the backoff schedule.
+			//lint:ignore ctxflow post-cancel final flush: the batch must be delivered or spilled, not abandoned
 			if ferr := o.sink.Flush(context.Background(), batch); ferr == nil {
 				o.flushed.Add(uint64(len(batch)))
 			} else {
@@ -207,6 +209,7 @@ func (o *Outbox) drainRemaining() {
 		if len(batch) == 0 {
 			return
 		}
+		//lint:ignore ctxflow shutdown drain runs after ctx is canceled; queued events still need flushing or spilling
 		if err := o.sink.Flush(context.Background(), batch); err == nil {
 			o.flushed.Add(uint64(len(batch)))
 		} else {

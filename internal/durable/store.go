@@ -149,7 +149,7 @@ const (
 // is read first, the WAL replayed on top, and a torn or corrupt WAL tail
 // is truncated away with a logged notice. The directory is created if
 // missing.
-func Open(dir string, opts StoreOptions) (*Store, error) {
+func Open(dir string, opts StoreOptions) (*Store, error) { //lint:ignore ctxflow the Store owns its fsync loop; Close stops it
 	if opts.FsyncInterval <= 0 {
 		opts.FsyncInterval = 100 * time.Millisecond
 	}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading: everything that can block — network
+// I/O, goroutine fan-out, scenario streaming — must be cancelable from the
+// caller, and nobody below main gets to mint a fresh root context (that
+// silently detaches the work from the request that asked for it, the exact
+// bug class behind the cancel-vs-done races PR 5 fixed).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "exported internal/ functions that spawn goroutines, do network " +
+		"I/O, or call context-taking APIs must accept a context.Context; " +
+		"context.Background()/TODO() are reserved for package main",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(p *Package) []Diagnostic {
+	var diags []Diagnostic
+
+	// Rule 1: no fresh root contexts outside package main. A library
+	// function calling context.Background() severs the cancellation chain
+	// its caller thought it had.
+	if p.Name != "main" {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := p.callee(call)
+				if isPkgObj(obj, "context", "Background", "TODO") {
+					diags = append(diags, p.diag("ctxflow", call,
+						"context.%s() outside package main: this detaches the call tree from its caller's cancellation; accept and thread a ctx", obj.Name()))
+				}
+				return true
+			})
+		}
+	}
+
+	// Rule 2: exported functions under internal/ with blocking bodies
+	// must take a context. Handlers (receive *http.Request) and test/bench
+	// harness entry points (receive *testing.T/*testing.B) already carry a
+	// lifecycle and are exempt.
+	if !underPrefixes(p.Path, "delta/internal") {
+		return diags
+	}
+	p.eachFunc(func(fd *ast.FuncDecl) {
+		if !fd.Name.IsExported() {
+			return
+		}
+		obj := p.Info.ObjectOf(fd.Name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || hasParamType(sig, isContextType) {
+			return
+		}
+		if hasParamType(sig, func(t types.Type) bool {
+			return isNamedType(t, "net/http", "Request") ||
+				isNamedType(t, "testing", "T") || isNamedType(t, "testing", "B")
+		}) {
+			return
+		}
+		if why := p.blockingReason(fd.Body); why != "" {
+			diags = append(diags, p.diag("ctxflow", fd.Name,
+				"exported %s %s but takes no context.Context; accept one and thread it so callers can cancel", fd.Name.Name, why))
+		}
+	})
+	return diags
+}
+
+// blockingReason returns a prose description of the first body construct
+// that demands cancelability, or "" when the function never blocks.
+func (p *Package) blockingReason(body *ast.BlockStmt) string {
+	why := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			why = "spawns a goroutine"
+		case *ast.CallExpr:
+			fn, ok := p.callee(n).(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil {
+				return true
+			}
+			// Only package-level functions count as "initiates network
+			// I/O": methods on an existing conn/listener are interface
+			// implementations that cannot grow a ctx parameter.
+			if sig.Recv() == nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "net/http", "net":
+					why = "performs network I/O (" + fn.Pkg().Name() + "." + fn.Name() + ")"
+					return false
+				}
+			}
+			if firstParamIsContext(sig) {
+				why = "calls context-taking " + fn.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return why
+}

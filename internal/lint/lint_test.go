@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// goldenCases is the analyzer corpus: each testdata/src/<dir> package is
+// mounted at a synthetic import path — scoped analyzers key on the path
+// prefix, so e.g. the determinism corpus lives under delta/internal/sim —
+// and run through exactly one rule selection. Expected findings are stated
+// in the sources as `// want `regex“ comments (several backquoted
+// patterns per comment for multiple findings on one line; `want(-1)`
+// shifts the expectation to a neighboring line, for diagnostics anchored
+// on comments).
+var goldenCases = []struct {
+	dir   string // under testdata/src
+	rules string // ByName selection to run
+	path  string // synthetic import path the corpus is mounted at
+}{
+	{"determinism", "determinism", "delta/internal/sim/goldendet"},
+	{"ctxflow", "ctxflow", "delta/internal/goldenctx"},
+	{"lockdiscipline", "lockdiscipline", "delta/internal/goldenlock"},
+	{"metrichygiene", "metrichygiene", "delta/internal/goldenmetric"},
+	{"ssecontract", "ssecontract", "delta/internal/goldensse"},
+	{"suppress", "determinism", "delta/internal/sim/goldensup"},
+}
+
+// One loader for the whole test binary: the source importer type-checks
+// stdlib dependencies (net/http and friends) once, not per subtest.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+	loaderErr    error
+)
+
+func goldenLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedLoader, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedLoader
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			l := goldenLoader(t)
+			p, err := l.LoadDir(filepath.Join("testdata", "src", tc.dir), tc.path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			for _, e := range p.TypeErrors {
+				t.Errorf("golden package must type-check cleanly: %v", e)
+			}
+			analyzers, err := ByName(tc.rules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := collectWants(t, p)
+			for _, d := range Run(p, analyzers) {
+				rendered := fmt.Sprintf("[%s] %s", d.Rule, d.Message)
+				if !wants.match(d.Pos.Filename, d.Pos.Line, rendered) {
+					t.Errorf("unexpected finding at %s:%d: %s",
+						filepath.Base(d.Pos.Filename), d.Pos.Line, rendered)
+				}
+			}
+			wants.reportUnmatched(t)
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("unknown rule name must error so CI typos fail loudly")
+	}
+	as, err := ByName(" determinism , ssecontract ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "determinism" || as[1].Name != "ssecontract" {
+		t.Fatalf("selection resolved to %v", as)
+	}
+	all, err := ByName("")
+	if err != nil || len(all) != len(All) {
+		t.Fatalf("empty selection must mean the full suite, got %d, %v", len(all), err)
+	}
+}
+
+// wantExpect is one expected-finding pattern pinned to a file:line.
+type wantExpect struct {
+	re      *regexp.Regexp
+	file    string
+	line    int
+	matched bool
+}
+
+type wantSet struct {
+	byLine map[string][]*wantExpect
+}
+
+var (
+	wantRe    = regexp.MustCompile("want(?:\\((-?\\d+)\\))?((?:\\s+`[^`]*`)+)")
+	wantPatRe = regexp.MustCompile("`([^`]*)`")
+)
+
+func collectWants(t *testing.T, p *Package) *wantSet {
+	t.Helper()
+	ws := &wantSet{byLine: map[string][]*wantExpect{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, _ := strconv.Atoi(m[1])
+					line += off
+				}
+				for _, pm := range wantPatRe.FindAllStringSubmatch(m[2], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pm[1], err)
+					}
+					key := posKey(pos.Filename, line)
+					ws.byLine[key] = append(ws.byLine[key],
+						&wantExpect{re: re, file: pos.Filename, line: line})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// match consumes the first unmatched expectation on the finding's line
+// whose pattern matches the rendered diagnostic.
+func (ws *wantSet) match(file string, line int, rendered string) bool {
+	for _, w := range ws.byLine[posKey(file, line)] {
+		if !w.matched && w.re.MatchString(rendered) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, list := range ws.byLine {
+		for _, w := range list {
+			if !w.matched {
+				t.Errorf("expected finding at %s:%d matching %q never fired",
+					filepath.Base(w.file), w.line, w.re)
+			}
+		}
+	}
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package: the unit every
+// analyzer consumes. Test files (*_test.go) are never loaded — the suite's
+// contracts are about production code, and excluding them keeps the
+// type-checking closed over ordinary import edges.
+type Package struct {
+	// Path is the import path ("delta/internal/sim/engine"); scoped
+	// analyzers match on its prefix.
+	Path string
+	// Name is the package name ("main" exempts a package from rules that
+	// only bind library code).
+	Name string
+	// Dir is the absolute directory the files came from.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Types and Info may be partial when type-checking reported errors
+	// (collected in TypeErrors); analyzers must tolerate missing entries.
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Loader parses and type-checks the module's packages using only the
+// stdlib toolchain: module-local imports resolve from the tree itself,
+// standard-library imports through go/importer's source importer (which
+// type-checks GOROOT sources — no compiled export data or network deps
+// needed). Anything else is an error: the module is dependency-free by
+// policy, and the loader enforces it as a side effect.
+type Loader struct {
+	Root    string // module root (directory containing go.mod)
+	Module  string // module path from go.mod
+	Fset    *token.FileSet
+	std     types.Importer
+	loaded  map[string]*Package // by import path
+	loading map[string]bool     // cycle guard
+}
+
+// NewLoader locates the module root at or above dir and prepares a loader.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		Module:  module,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// LoadAll walks the module tree and loads every package, skipping testdata
+// and hidden directories. Results come back sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := l.LoadDir(dir, l.importPathFor(dir))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// LoadDir parses and type-checks one directory as the package with the
+// given import path. The path matters for scoped analyzers (and for the
+// golden tests, which load testdata packages under synthetic in-scope
+// paths); repeated loads of the same path are served from cache.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if p, ok := l.loaded[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	name := ""
+	for _, e := range ents {
+		if !isSourceFile(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = f.Name.Name
+		}
+		if f.Name.Name != name {
+			return nil, fmt.Errorf("mixed package names %s and %s in %s", name, f.Name.Name, dir)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	p := &Package{Path: importPath, Name: name, Dir: dir, Fset: l.Fset}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Types, _ = conf.Check(importPath, l.Fset, files, p.Info)
+	p.Files = files
+	l.loaded[importPath] = p
+	return p, nil
+}
+
+// loaderImporter resolves imports during type-checking: module-local paths
+// recurse into the loader, "unsafe" is built in, everything else must be
+// standard library (served by the source importer).
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		p, err := l.LoadDir(filepath.Join(l.Root, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("type-checking %s failed", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline flags blocking operations performed while a sync.Mutex or
+// RWMutex is held: channel sends/receives, select statements, Flush calls
+// (the SSE-broadcast shape), and time.Sleep. A blocked goroutine holding a
+// lock turns one slow SSE client into a store-wide stall — the copy-then-
+// unlock-then-send idiom is the house rule, and this analyzer enforces it.
+//
+// The analysis is lexical and intra-procedural: it tracks Lock/Unlock
+// pairs in statement order (defer Unlock holds to function end) and copies
+// held-state into branches, so `if cond { mu.Unlock(); return }` is
+// understood. Locks passed across function boundaries are not tracked.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "no channel operations, select, Flush, or sleeps while holding a " +
+		"sync.Mutex/RWMutex; copy under the lock, release, then block",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	visit := func(body *ast.BlockStmt) {
+		diags = append(diags, p.scanLocked(body.List, map[string]bool{})...)
+	}
+	p.eachFunc(func(fd *ast.FuncDecl) { visit(fd.Body) })
+	// Function literals are their own execution contexts: scan each with
+	// fresh held-state (a lit may run on another goroutine, so the outer
+	// lock is not known to be held inside it).
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				diags = append(diags, p.scanLocked(fl.Body.List, map[string]bool{})...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// scanLocked walks one statement list with the set of mutex expressions
+// currently held (keyed by their source rendering, e.g. "s.mu").
+func (p *Package) scanLocked(list []ast.Stmt, held map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(at ast.Node, what string) {
+		for m := range held {
+			diags = append(diags, p.diag("lockdiscipline", at,
+				"%s while %s is held: a blocked goroutine holding the lock stalls every other path through it; copy state, unlock, then block", what, m))
+			return // one finding per site, naming one held lock
+		}
+	}
+	copyHeld := func() map[string]bool {
+		c := make(map[string]bool, len(held))
+		for k, v := range held {
+			c[k] = v
+		}
+		return c
+	}
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := p.lockOp(s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held through everything
+			// that follows — which is exactly the state we are tracking,
+			// so nothing to do; other defers run after the scan's scope.
+			continue
+		case *ast.BlockStmt:
+			diags = append(diags, p.scanLocked(s.List, held)...)
+			continue
+		case *ast.IfStmt:
+			if len(held) > 0 {
+				p.violationsIn(s.Cond, report)
+			}
+			diags = append(diags, p.scanLocked(s.Body.List, copyHeld())...)
+			switch el := s.Else.(type) {
+			case *ast.BlockStmt:
+				diags = append(diags, p.scanLocked(el.List, copyHeld())...)
+			case *ast.IfStmt:
+				diags = append(diags, p.scanLocked([]ast.Stmt{el}, copyHeld())...)
+			}
+			continue
+		case *ast.ForStmt:
+			diags = append(diags, p.scanLocked(s.Body.List, copyHeld())...)
+			continue
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				// Receiving from a ranged channel blocks like any receive.
+				if t := p.typeOf(s.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						report(s, "channel-range receive")
+					}
+				}
+			}
+			diags = append(diags, p.scanLocked(s.Body.List, copyHeld())...)
+			continue
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					diags = append(diags, p.scanLocked(cc.Body, copyHeld())...)
+				}
+			}
+			continue
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					diags = append(diags, p.scanLocked(cc.Body, copyHeld())...)
+				}
+			}
+			continue
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				report(s, "select")
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					diags = append(diags, p.scanLocked(cc.Body, copyHeld())...)
+				}
+			}
+			continue
+		case *ast.LabeledStmt:
+			diags = append(diags, p.scanLocked([]ast.Stmt{s.Stmt}, held)...)
+			continue
+		}
+		if len(held) > 0 {
+			p.violationsIn(s, report)
+		}
+	}
+	return diags
+}
+
+// violationsIn inspects one statement (not recursing into function
+// literals) for blocking operations, reporting each through report.
+func (p *Package) violationsIn(n ast.Node, report func(ast.Node, string)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later / elsewhere; scanned separately
+		case *ast.SendStmt:
+			report(n, "channel send")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				report(n, "channel receive")
+			}
+		case *ast.SelectStmt:
+			report(n, "select")
+		case *ast.CallExpr:
+			if selectionMethodName(n) == "Flush" && len(n.Args) == 0 {
+				report(n, "Flush")
+			}
+			if isPkgObj(p.callee(n), "time", "Sleep") {
+				report(n, "time.Sleep")
+			}
+		}
+		return true
+	})
+}
+
+// lockOp matches `x.Lock()` / `x.RLock()` / `x.Unlock()` / `x.RUnlock()`
+// where the method is sync's (covers embedded mutexes too), returning the
+// receiver's source rendering and the method name.
+func (p *Package) lockOp(e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := p.Info.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// obsPath is the module's metrics registry package.
+const obsPath = "delta/internal/obs"
+
+// metricNameRe is the house naming contract: every series this repo
+// exports is delta_-prefixed lower_snake_case, so dashboards and the e2e
+// scripts can grep one stable namespace.
+var metricNameRe = regexp.MustCompile(`^delta_[a-z_]+$`)
+
+// registerFuncs are the obs.Registry entry points whose first argument is
+// the metric name.
+var registerFuncs = map[string]bool{
+	"Counter": true, "CounterVec": true, "CounterFunc": true,
+	"Gauge": true, "GaugeVec": true, "GaugeFunc": true,
+	"Histogram": true, "HistogramVec": true,
+}
+
+// MetricHygiene enforces the observability contracts: metric names are
+// package-level constants matching delta_[a-z_]+ (greppable, collision-
+// checked at compile review rather than scrape time), and label values
+// never come straight off a request (raw paths/headers/addresses as label
+// values are an unbounded-cardinality memory leak — PR 5's bounded route
+// labels exist precisely to prevent this).
+var MetricHygiene = &Analyzer{
+	Name: "metrichygiene",
+	Doc: "obs metric names must be package-level delta_[a-z_]+ constants; " +
+		"label values must not be raw request-derived strings",
+	Run: runMetricHygiene,
+}
+
+func runMetricHygiene(p *Package) []Diagnostic {
+	if p.Path == obsPath {
+		return nil // the registry itself passes names through variables
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := p.callee(call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+				return true
+			}
+			if registerFuncs[obj.Name()] && len(call.Args) > 0 {
+				diags = append(diags, p.checkMetricName(call.Args[0])...)
+			}
+			if obj.Name() == "With" {
+				for _, arg := range call.Args {
+					if from := p.requestDerived(arg); from != "" {
+						diags = append(diags, p.diag("metrichygiene", arg,
+							"label value derived from %s: request-derived strings are unbounded cardinality (one series per distinct value); map to a bounded label set first", from))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkMetricName requires the name argument to be a package-level
+// constant whose value matches the naming contract.
+func (p *Package) checkMetricName(arg ast.Expr) []Diagnostic {
+	obj := p.objectOf(arg)
+	c, isConst := obj.(*types.Const)
+	if !isConst || c.Parent() != pkgScopeOf(c) {
+		return []Diagnostic{p.diag("metrichygiene", arg,
+			"metric name must be a package-level constant (got %s): constants keep the delta_ namespace greppable and typo-proof", describeExpr(arg))}
+	}
+	if c.Val().Kind() == constant.String {
+		if name := constant.StringVal(c.Val()); !metricNameRe.MatchString(name) {
+			return []Diagnostic{p.diag("metrichygiene", arg,
+				"metric name %q does not match delta_[a-z_]+: every exported series lives in the delta_ lower_snake_case namespace", name)}
+		}
+	}
+	return nil
+}
+
+// pkgScopeOf returns the package scope owning obj, nil when unknown.
+func pkgScopeOf(obj types.Object) *types.Scope {
+	if obj.Pkg() == nil {
+		return nil
+	}
+	return obj.Pkg().Scope()
+}
+
+// requestDerived reports (as prose) whether the expression reads from an
+// *http.Request — r.URL..., r.Header..., r.RemoteAddr, and friends.
+func (p *Package) requestDerived(arg ast.Expr) string {
+	from := ""
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if from != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if t := p.typeOf(id); t != nil && isNamedType(t, "net/http", "Request") {
+				from = "the request (" + id.Name + ")"
+			}
+		}
+		return true
+	})
+	return from
+}
+
+// describeExpr names an expression's shape for diagnostics.
+func describeExpr(e ast.Expr) string {
+	switch ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return "a string literal"
+	case *ast.BinaryExpr:
+		return "a concatenation"
+	case *ast.CallExpr:
+		return "a call result"
+	case *ast.Ident, *ast.SelectorExpr:
+		return "a non-constant or local value"
+	}
+	return "a dynamic expression"
+}

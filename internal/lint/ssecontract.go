@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// SSEContract checks every handler that serves `text/event-stream`
+// against the resume-and-liveness contract the jobs API and shard
+// streaming rely on:
+//
+//   - frames carry `id:` lines, so reconnecting clients (and the fleet's
+//     SSE client) can resume via Last-Event-ID instead of replaying or —
+//     worse — double-merging results;
+//   - the handler calls Flush, so frames actually leave the process
+//     instead of sitting in the response buffer until the sweep ends;
+//   - the handler selects on the request context's Done channel, so an
+//     abandoned client releases its stream goroutine instead of leaking.
+//
+// A handler is any function that sets the Content-Type header to
+// text/event-stream (setting Accept on an outgoing client request does
+// not count). The id: emission may live in a same-package helper called
+// directly from the handler (the writeSSE/writeFrame shape).
+var SSEContract = &Analyzer{
+	Name: "ssecontract",
+	Doc: "text/event-stream handlers must emit id: frames, call Flush, " +
+		"and select on ctx.Done()",
+	Run: runSSEContract,
+}
+
+func runSSEContract(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	decls := p.funcDeclIndex()
+	p.eachFunc(func(fd *ast.FuncDecl) {
+		if !p.setsEventStreamContentType(fd.Body) {
+			return
+		}
+		if !p.callsFlush(fd.Body) {
+			diags = append(diags, p.diag("ssecontract", fd.Name,
+				"SSE handler %s never calls Flush: frames sit in the response buffer and clients see nothing until the stream ends", fd.Name.Name))
+		}
+		if !p.selectsOnDone(fd.Body) {
+			diags = append(diags, p.diag("ssecontract", fd.Name,
+				"SSE handler %s never waits on ctx.Done(): an abandoned client leaks the stream goroutine for the life of the sweep", fd.Name.Name))
+		}
+		if !p.emitsIDFrames(fd, decls) {
+			diags = append(diags, p.diag("ssecontract", fd.Name,
+				"SSE handler %s emits no id: lines: clients cannot resume via Last-Event-ID and will replay or double-merge results on reconnect", fd.Name.Name))
+		}
+	})
+	return diags
+}
+
+// setsEventStreamContentType matches `h.Set("Content-Type",
+// "text/event-stream")` (and Add) — the serving side of the contract.
+func (p *Package) setsEventStreamContentType(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return true
+		}
+		switch selectionMethodName(call) {
+		case "Set", "Add":
+		default:
+			return true
+		}
+		if len(call.Args) != 2 {
+			return true
+		}
+		key, okKey := literalString(call.Args[0])
+		val, okVal := literalString(call.Args[1])
+		if okKey && okVal && strings.EqualFold(key, "Content-Type") &&
+			strings.HasPrefix(val, "text/event-stream") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func literalString(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+func (p *Package) callsFlush(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok &&
+			selectionMethodName(call) == "Flush" && len(call.Args) == 0 {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// selectsOnDone looks for a receive from a context's Done() channel —
+// `<-ctx.Done()` or `case <-r.Context().Done():` — resolved through type
+// info when available, by method name otherwise.
+func (p *Package) selectsOnDone(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		un, ok := n.(*ast.UnaryExpr)
+		if !ok || un.Op.String() != "<-" {
+			return !found
+		}
+		call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+		if !ok || selectionMethodName(call) != "Done" || len(call.Args) != 0 {
+			return !found
+		}
+		obj := p.callee(call)
+		if obj == nil || isPkgObj(obj, "context", "Done") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// emitsIDFrames accepts an `id:`-bearing string literal in the handler
+// itself or in a same-package function it calls directly.
+func (p *Package) emitsIDFrames(fd *ast.FuncDecl, decls map[string]*ast.FuncDecl) bool {
+	if containsIDLiteral(fd.Body) {
+		return true
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return true
+		}
+		obj := p.callee(call)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg() != p.Types {
+			return true
+		}
+		if callee, ok := decls[obj.Name()]; ok && containsIDLiteral(callee.Body) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func containsIDLiteral(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := literalStringNode(n); ok && strings.Contains(s, "id:") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func literalStringNode(n ast.Node) (string, bool) {
+	e, ok := n.(ast.Expr)
+	if !ok {
+		return "", false
+	}
+	return literalString(e)
+}
+
+// funcDeclIndex maps top-level function and method names to declarations
+// (methods keyed by bare name — good enough for one-hop helper lookup).
+func (p *Package) funcDeclIndex() map[string]*ast.FuncDecl {
+	idx := make(map[string]*ast.FuncDecl)
+	p.eachFunc(func(fd *ast.FuncDecl) { idx[fd.Name.Name] = fd })
+	return idx
+}

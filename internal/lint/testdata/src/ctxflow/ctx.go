@@ -1,0 +1,70 @@
+// Package goldenctx is the ctxflow analyzer's golden corpus, mounted at
+// delta/internal/goldenctx so the exported-function rule binds.
+package goldenctx
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+)
+
+// Detach mints a root context below main, severing the caller's
+// cancellation chain.
+func Detach() {
+	ctx := context.Background() // want `context\.Background\(\) outside package main`
+	_ = ctx
+}
+
+// Todo is the same bug in TODO clothing.
+func Todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) outside package main`
+}
+
+// Spawn fans out a goroutine its caller has no way to cancel.
+func Spawn(done chan struct{}) { // want `exported Spawn spawns a goroutine`
+	go func() { close(done) }()
+}
+
+// Fetch initiates network I/O with no deadline or cancellation.
+func Fetch(url string) (*http.Response, error) { // want `exported Fetch performs network I/O`
+	return http.Get(url)
+}
+
+// Delegate calls a context-taking helper without threading one through.
+func Delegate() { // want `exported Delegate calls context-taking helper`
+	helper(nil)
+}
+
+func helper(ctx context.Context) { _ = ctx }
+
+// FetchCtx threads a context through the same I/O: quiet.
+func FetchCtx(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// Handle carries its lifecycle in the request: handlers are exempt.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	go func() { <-r.Context().Done() }()
+}
+
+// Bench receives the harness lifecycle through *testing.B: exempt.
+func Bench(b *testing.B, done chan struct{}) {
+	go func() { close(done) }()
+}
+
+// spawn is unexported: internal helpers inherit their caller's contract.
+func spawn(done chan struct{}) {
+	go func() { close(done) }()
+}
+
+// conn wraps a net.Conn. Read is an interface implementation that cannot
+// grow a context parameter, and a method call on an existing conn is not
+// I/O initiation: quiet.
+type conn struct{ inner net.Conn }
+
+func (c conn) Read(p []byte) (int, error) { return c.inner.Read(p) }

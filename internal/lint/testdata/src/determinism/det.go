@@ -1,0 +1,87 @@
+// Package goldendet is the determinism analyzer's golden corpus. The test
+// harness mounts it at delta/internal/sim/goldendet — inside the replay
+// scope — so every construct below is judged against the bit-identical-
+// results contract.
+package goldendet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock on a replay path: the headline offense.
+func Stamp() time.Time {
+	return time.Now() // want `\[determinism\] time\.Now in a replay package`
+}
+
+// clock smuggles the same read in as a value reference.
+var clock = time.Now // want `\[determinism\] time\.Now in a replay package`
+
+// Elapsed measures real elapsed time, which differs every run.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `\[determinism\] time\.Since in a replay package`
+}
+
+// Epoch builds a fixed instant: time is fine, reading the clock is not.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+// LeakOrder feeds map iteration order straight into an output slice.
+func LeakOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `map iteration order feeds an append`
+	}
+	return out
+}
+
+// Total accumulates floats in map order; float addition is not
+// associative, so the sum depends on iteration order.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `map iteration order feeds accumulation into sum`
+	}
+	return sum
+}
+
+// Dump writes frames in map order: the output sequence is the offense.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order feeds an output write`
+	}
+}
+
+// Keys is the one blessed shape — the sorted-keys idiom: collect exactly
+// the keys, then sort before anything order-sensitive happens.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Max only compares and assigns: no order-sensitive write, no finding.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Invert writes into another map: map-to-map transfer is order-free.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

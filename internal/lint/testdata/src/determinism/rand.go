@@ -1,0 +1,9 @@
+package goldendet
+
+import "math/rand" // want `\[determinism\] import of math/rand`
+
+// Jitter draws randomness on a replay path; the import itself is the
+// finding, before any call site.
+func Jitter() int {
+	return rand.Int()
+}

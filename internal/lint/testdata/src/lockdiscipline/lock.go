@@ -1,0 +1,86 @@
+// Package goldenlock is the lockdiscipline analyzer's golden corpus: the
+// SSE-broadcast shapes, both the stalls and the house copy-then-unlock
+// idiom that avoids them.
+package goldenlock
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Broadcaster is the subscriber-fanout shape the analyzer polices.
+type Broadcaster struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	subs []chan int
+	last int
+}
+
+// BadSend sends to subscribers while the lock is held: one slow receiver
+// stalls every other path through b.mu.
+func (b *Broadcaster) BadSend(v int) {
+	b.mu.Lock()
+	b.last = v
+	for _, ch := range b.subs {
+		ch <- v // want `channel send while b\.mu is held`
+	}
+	b.mu.Unlock()
+}
+
+// BadFlush defers the unlock, so the lock is held through the Flush.
+func (b *Broadcaster) BadFlush(f http.Flusher) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f.Flush() // want `Flush while b\.mu is held`
+}
+
+// BadSleep backs off while holding the read lock.
+func (b *Broadcaster) BadSleep() {
+	b.rw.RLock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while b\.rw is held`
+	b.rw.RUnlock()
+}
+
+// BadSelect parks on a select with the lock held.
+func (b *Broadcaster) BadSelect(stop chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select while b\.mu is held`
+	case <-stop:
+	default:
+	}
+}
+
+// GoodSend is the house idiom: copy under the lock, release, then block.
+func (b *Broadcaster) GoodSend(v int) {
+	b.mu.Lock()
+	subs := make([]chan int, len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+// GoodBranch releases on the early-exit arm before returning and on the
+// main path before sending; the branch-aware scan follows both.
+func (b *Broadcaster) GoodBranch(v int, ready bool) {
+	b.mu.Lock()
+	if !ready {
+		b.mu.Unlock()
+		return
+	}
+	sub := b.subs[0]
+	b.mu.Unlock()
+	sub <- v
+}
+
+// GoodAsync hands the send to another goroutine: the literal is its own
+// execution context, where the outer lock is not known to be held.
+func (b *Broadcaster) GoodAsync(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := b.subs[0]
+	go func() { ch <- v }()
+}

@@ -1,0 +1,52 @@
+// Package goldenmetric is the metrichygiene analyzer's golden corpus: it
+// registers against the real delta/internal/obs registry, so the call
+// shapes below are exactly what production code writes.
+package goldenmetric
+
+import (
+	"net/http"
+	"strconv"
+
+	"delta/internal/obs"
+)
+
+// Package-level constants in the blessed namespace, plus one that is
+// package-level but breaks the casing contract.
+const (
+	metricRequests = "delta_golden_requests_total"
+	metricLatency  = "delta_golden_latency_seconds"
+	badCase        = "DeltaGoldenBad"
+)
+
+// Register exercises the naming contract: only a package-level constant
+// in the delta_ lower_snake_case namespace passes.
+func Register(reg *obs.Registry) *obs.CounterVec {
+	reg.Counter("delta_literal_total", "inline literal") // want `metric name must be a package-level constant \(got a string literal\)`
+	reg.Gauge(metricRequests+"_x", "concatenation")      // want `metric name must be a package-level constant \(got a concatenation\)`
+	local := "delta_local_total"
+	reg.Counter(local, "local variable") // want `metric name must be a package-level constant \(got a non-constant or local value\)`
+	const inner = "delta_inner_total"
+	reg.Counter(inner, "function-local constant") // want `metric name must be a package-level constant`
+	reg.Gauge(badCase, "bad casing")              // want `"DeltaGoldenBad" does not match delta_\[a-z_\]\+`
+	reg.Histogram(metricLatency, "latency", nil)
+	return reg.CounterVec(metricRequests, "requests", "route", "status")
+}
+
+// Observe exercises the label-cardinality contract: raw request-derived
+// strings are one series per distinct value.
+func Observe(v *obs.CounterVec, r *http.Request, status int) {
+	v.With(r.URL.Path, strconv.Itoa(status)).Inc() // want `label value derived from the request \(r\)`
+	route := boundedRoute(r)
+	v.With(route, strconv.Itoa(status)).Inc()
+}
+
+// boundedRoute maps arbitrary request paths onto a fixed label set — the
+// named-mapping idiom the analyzer wants to see.
+func boundedRoute(r *http.Request) string {
+	switch r.URL.Path {
+	case "/jobs":
+		return "jobs"
+	default:
+		return "other"
+	}
+}

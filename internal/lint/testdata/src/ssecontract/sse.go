@@ -1,0 +1,68 @@
+// Package goldensse is the ssecontract analyzer's golden corpus: serving
+// handlers that violate each clause of the resume-and-liveness contract,
+// one that honors all three, and the client shape that must not count as
+// a handler at all.
+package goldensse
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// StreamBad sets up an event stream and then violates all three clauses:
+// no Flush, no ctx.Done, anonymous frames.
+func StreamBad(w http.ResponseWriter, r *http.Request) { // want `StreamBad never calls Flush` `StreamBad never waits on ctx\.Done` `StreamBad emits no id: lines`
+	w.Header().Set("Content-Type", "text/event-stream")
+	fmt.Fprintf(w, "data: %s\n\n", "hello")
+}
+
+// StreamNoID flushes and cancels correctly but emits anonymous frames, so
+// reconnecting clients cannot resume via Last-Event-ID.
+func StreamNoID(w http.ResponseWriter, r *http.Request) { // want `StreamNoID emits no id: lines`
+	w.Header().Set("Content-Type", "text/event-stream")
+	f, _ := w.(http.Flusher)
+	select {
+	case <-r.Context().Done():
+		return
+	default:
+	}
+	fmt.Fprint(w, "data: tick\n\n")
+	if f != nil {
+		f.Flush()
+	}
+}
+
+// StreamGood honors the whole contract; the id: emission lives one hop
+// away in writeFrame, the writeSSE shape the analyzer accepts.
+func StreamGood(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	f, _ := w.(http.Flusher)
+	ctx := r.Context()
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		writeFrame(w, i)
+		if f != nil {
+			f.Flush()
+		}
+	}
+}
+
+// writeFrame carries the id: line for StreamGood.
+func writeFrame(w http.ResponseWriter, id int) {
+	fmt.Fprintf(w, "id: %d\ndata: tick\n\n", id)
+}
+
+// Subscribe is the client side: setting Accept on an outgoing request
+// does not make this function a handler, so no clause applies.
+func Subscribe(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	return http.DefaultClient.Do(req)
+}

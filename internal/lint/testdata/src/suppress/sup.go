@@ -1,0 +1,29 @@
+// Package goldensup exercises the suppression machinery itself, mounted
+// inside the determinism scope so the findings to suppress are real: a
+// reasoned ignore silences exactly its rule on its line, a reasonless one
+// is reported and silences nothing, and a wrong-rule ignore is inert.
+package goldensup
+
+import "time"
+
+// Stamp is wrong but argued: a well-formed ignore on the line above the
+// offense suppresses the finding.
+func Stamp() time.Time {
+	//lint:ignore determinism golden corpus: proves a reasoned ignore suppresses
+	return time.Now()
+}
+
+// Since uses the same-line trailing form.
+func Since(t0 time.Time) time.Duration {
+	return time.Since(t0) //lint:ignore determinism golden corpus: same-line form
+}
+
+// A reasonless ignore is itself a finding and suppresses nothing: both
+// the suppress report and the underlying determinism finding fire.
+var T = time.Now() //lint:ignore determinism
+// want(-1) `\[suppress\] lint:ignore needs a reason` `\[determinism\] time\.Now`
+
+// An ignore naming the wrong rule leaves the real finding standing.
+//
+//lint:ignore ctxflow wrong rule: determinism still fires on the next line
+var U = time.Now() // want `\[determinism\] time\.Now`

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// objectOf resolves an identifier or selector to its types.Object, nil
+// when type info is missing (analyzers degrade to silence, not panics).
+func (p *Package) objectOf(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return p.Info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// callee resolves the function object a call invokes.
+func (p *Package) callee(call *ast.CallExpr) types.Object {
+	return p.objectOf(call.Fun)
+}
+
+// isPkgObj reports whether obj is one of the named top-level objects of
+// the package with the given import path.
+func isPkgObj(obj types.Object, pkgPath string, names ...string) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// typeOf returns the type of an expression, nil when unknown.
+func (p *Package) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// isMapType reports whether the expression's underlying type is a map.
+func (p *Package) isMapType(e ast.Expr) bool {
+	t := p.typeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isNamedType reports whether t (or the pointee, through one pointer) is
+// the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// hasParamType reports whether any parameter of the function type has a
+// type matching pred.
+func hasParamType(sig *types.Signature, pred func(types.Type) bool) bool {
+	if sig == nil {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if pred(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType matches context.Context.
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+// firstParamIsContext reports whether a signature's leading parameter is a
+// context.Context — the module convention for cancelable entry points.
+func firstParamIsContext(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+// declaredWithin reports whether the identifier's object is declared
+// inside the half-open position range [lo, hi] — used to tell loop-local
+// variables from outer accumulators.
+func (p *Package) declaredWithin(id *ast.Ident, lo, hi ast.Node) bool {
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= lo.Pos() && obj.Pos() <= hi.End()
+}
+
+// selectionMethodName returns the method name of a call through a
+// selector ("x.Flush()" -> "Flush"), or "" for other call shapes.
+func selectionMethodName(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// eachFunc visits every function declaration in the package with its body
+// (skipping bodyless declarations).
+func (p *Package) eachFunc(visit func(fd *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}
+
+// underPrefixes reports whether the package path sits at or under one of
+// the given import-path prefixes.
+func underPrefixes(path string, prefixes ...string) bool {
+	for _, pre := range prefixes {
+		if path == pre || len(path) > len(pre) && path[:len(pre)] == pre && path[len(pre)] == '/' {
+			return true
+		}
+	}
+	return false
+}

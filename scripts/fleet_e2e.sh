@@ -21,7 +21,10 @@
 #
 # Run by the CI fleet-e2e (LEGS=kill) and chaos-e2e (the three chaos legs)
 # jobs; usable locally: ./scripts/fleet_e2e.sh [LEGS="kill chaos-hedge"]
-set -euo pipefail
+set -Eeuo pipefail
+# -E propagates the ERR trap into the leg functions: any failing command
+# names its line and text before the EXIT trap tears the fleet down.
+trap 'echo "fleet-e2e: FAIL at ${BASH_SOURCE[0]}:$LINENO: $BASH_COMMAND" >&2' ERR
 
 LEGS="${LEGS:-kill chaos-stream chaos-hedge chaos-breaker}"
 REF="${REF:-127.0.0.1:18090}"
@@ -37,8 +40,8 @@ trap 'kill -9 "${PIDS[@]}" 2>/dev/null || true' EXIT
 start() { # addr [extra flags...] -> starts a server, logs to $TMP/<addr>.log
   local addr=$1; shift
   "$BIN" -addr "$addr" "$@" >>"$TMP/$addr.log" 2>&1 &
-  ADDR_PID[$addr]=$!
-  PIDS+=($!)
+  ADDR_PID["$addr"]=$!
+  PIDS+=("$!")
 }
 
 wait_up() {
@@ -411,6 +414,7 @@ EOF
   echo "fleet-e2e: chaos-breaker leg PASS"
 }
 
+# shellcheck disable=SC2086 # LEGS is a deliberate space-separated list
 for leg in $LEGS; do
   echo "fleet-e2e: === leg $leg ==="
   case "$leg" in

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Turns delta-vet -json findings (NDJSON on stdin) into GitHub Actions
+# error annotations on stdout. delta-vet guarantees the field order
+# (file, line, col, rule, message), so a single sed does the job without
+# a JSON parser. Used by the CI lint job; harmless to run locally.
+set -Eeuo pipefail
+sed -nE 's/^\{"file":"([^"]+)","line":([0-9]+),"col":([0-9]+),"rule":"([^"]+)","message":"(.*)"\}$/::error file=\1,line=\2,col=\3,title=delta-vet \4::\5/p'

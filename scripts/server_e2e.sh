@@ -7,7 +7,10 @@
 # the 413 oversize-body path, and rerun with tight limits to exercise 429
 # load shedding. Run by the CI
 # server-e2e job and usable locally: ./scripts/server_e2e.sh
-set -euo pipefail
+set -Eeuo pipefail
+# Fail fast and name the offender: the ERR trap fires before the EXIT
+# cleanup, so the log ends with the exact line and command that broke.
+trap 'echo "server-e2e: FAIL at ${BASH_SOURCE[0]}:$LINENO: $BASH_COMMAND" >&2' ERR
 
 ADDR="${ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
